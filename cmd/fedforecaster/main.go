@@ -1,0 +1,136 @@
+// Command fedforecaster runs the automated federated forecasting
+// engine on a dataset: a CSV file partitioned into N clients, or a
+// named synthetic evaluation dataset.
+//
+// Usage:
+//
+//	fedforecaster -csv data.csv -clients 10 -iters 24
+//	fedforecaster -dataset USBirthsDaily -scale 0.05 -iters 8
+//	fedforecaster -dataset BOE-XUDLERD -show-metafeatures
+//	fedforecaster -kb kb.json -dataset SunSpotDaily        # with meta-learning
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fedforecaster"
+	"fedforecaster/internal/metafeat"
+	"fedforecaster/internal/synth"
+	"fedforecaster/internal/timeseries"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fedforecaster: ")
+
+	var (
+		csvPath  = flag.String("csv", "", "CSV file with the series (one value column or timestamp,value)")
+		dataset  = flag.String("dataset", "", "named synthetic evaluation dataset (see -list)")
+		list     = flag.Bool("list", false, "list the available synthetic datasets and exit")
+		clients  = flag.Int("clients", 5, "number of federated clients (CSV mode)")
+		scale    = flag.Float64("scale", 0.05, "length scale for synthetic datasets")
+		iters    = flag.Int("iters", 24, "optimization budget in federated rounds")
+		topK     = flag.Int("topk", 3, "meta-model recommendations forming the search space")
+		seed     = flag.Int64("seed", 1, "random seed")
+		kbPath   = flag.String("kb", "", "knowledge base JSON enabling meta-learning")
+		metaName = flag.String("metamodel", "Random Forest", "meta-model classifier name")
+		showMeta = flag.Bool("show-metafeatures", false, "print the Table 1 aggregated meta-features and exit")
+		quiet    = flag.Bool("quiet", false, "suppress phase trace")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, d := range synth.EvalDatasets() {
+			fmt.Printf("%-40s len=%-6d clients=%d\n", d.Name, d.Length, d.Clients)
+		}
+		return
+	}
+
+	splits, err := loadClients(*csvPath, *dataset, *clients, *scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset loaded: %d clients, %d total observations\n", len(splits), totalLen(splits))
+
+	if *showMeta {
+		agg, _ := metafeat.ComputeAggregated(splits)
+		names := metafeat.VectorNames()
+		vec := agg.Vector()
+		fmt.Println("Table 1 aggregated meta-features:")
+		for i, n := range names {
+			fmt.Printf("  %-24s %12.5g\n", n, vec[i])
+		}
+		return
+	}
+
+	opts := fedforecaster.Options{
+		Iterations: *iters,
+		TopK:       *topK,
+		Seed:       *seed,
+	}
+	if !*quiet {
+		opts.Trace = func(ev string) { fmt.Println("  [trace]", ev) }
+	}
+	if *kbPath != "" {
+		kb, err := fedforecaster.LoadKnowledgeBase(*kbPath)
+		if err != nil {
+			log.Fatalf("loading knowledge base: %v", err)
+		}
+		meta, err := fedforecaster.TrainMetaModel(kb, *metaName, *seed)
+		if err != nil {
+			log.Fatalf("training meta-model: %v", err)
+		}
+		opts.Meta = meta
+		fmt.Printf("meta-model %q trained on %d knowledge-base records\n", *metaName, len(kb.Records))
+	}
+
+	res, err := fedforecaster.Run(splits, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if len(res.Recommended) > 0 {
+		fmt.Printf("recommended algorithms: %v\n", res.Recommended)
+	}
+	fmt.Printf("kept %d of %d engineered features\n", len(res.KeptFeatures), res.NumFeatures)
+	fmt.Printf("evaluated %d configurations\n", res.Iterations)
+	fmt.Printf("best configuration: %s\n", res.BestConfig)
+	fmt.Printf("global validation loss: %.6g\n", res.BestValidLoss)
+	fmt.Printf("held-out test MSE: %.6g\n", res.TestMSE)
+}
+
+func loadClients(csvPath, dataset string, clients int, scale float64, seed int64) ([]*timeseries.Series, error) {
+	switch {
+	case csvPath != "":
+		s, err := timeseries.ReadCSVFile(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		return s.PartitionClients(clients, 100)
+	case dataset != "":
+		for _, d := range synth.EvalDatasets() {
+			if d.Name == dataset {
+				d = d.Scaled(scale)
+				d.Seed = seed
+				cs, _, err := d.Generate()
+				return cs, err
+			}
+		}
+		return nil, fmt.Errorf("unknown dataset %q (use -list)", dataset)
+	default:
+		fmt.Fprintln(os.Stderr, "need -csv or -dataset; see -h")
+		os.Exit(2)
+		return nil, nil
+	}
+}
+
+func totalLen(splits []*timeseries.Series) int {
+	n := 0
+	for _, s := range splits {
+		n += s.Len()
+	}
+	return n
+}

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fedforecaster"
+	"fedforecaster/internal/experiments"
+)
+
+// runTable4 prints the Section 5.3 classifier comparison for the
+// freshly built knowledge base.
+func runTable4(kb *fedforecaster.KnowledgeBase, seed int64) {
+	rep, err := experiments.RunTable4(kb, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Format())
+}

@@ -1,0 +1,67 @@
+// Command table4 regenerates the paper's Table 4: the eight
+// meta-model classifiers compared by MRR@3 and macro F1 on an 80/20
+// split of the knowledge base. Without -kb it builds a scaled-down
+// knowledge base first (use cmd/kbbuild for a persistent one).
+//
+// Usage:
+//
+//	table4 -kb kb.json
+//	table4 -synthetic 64 -scale 0.25     # build a KB inline first
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"fedforecaster"
+	"fedforecaster/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("table4: ")
+
+	var (
+		kbPath    = flag.String("kb", "", "knowledge base JSON (empty = build one inline)")
+		synthetic = flag.Int("synthetic", 48, "synthetic datasets when building inline")
+		realLike  = flag.Int("reallike", 6, "real-like datasets when building inline")
+		scale     = flag.Float64("scale", 0.2, "series length scale when building inline")
+		seed      = flag.Int64("seed", 1, "random seed")
+		seeds     = flag.Int("seeds", 1, "number of random 80/20 splits averaged")
+	)
+	flag.Parse()
+
+	var kb *fedforecaster.KnowledgeBase
+	var err error
+	if *kbPath != "" {
+		kb, err = fedforecaster.LoadKnowledgeBase(*kbPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Printf("building inline knowledge base (%d synthetic + %d real-like, scale %.2g)...\n",
+			*synthetic, *realLike, *scale)
+		kb, err = fedforecaster.BuildKnowledgeBase(fedforecaster.KBOptions{
+			NumSynthetic: *synthetic,
+			NumRealLike:  *realLike,
+			SeriesScale:  *scale,
+			Seed:         *seed,
+			Progress: func(done, total int, _ string) {
+				if done%10 == 0 || done == total {
+					fmt.Printf("  %d/%d records\n", done, total)
+				}
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("knowledge base: %d records\n\n", len(kb.Records))
+
+	rep, err := experiments.RunTable4Seeds(kb, *seed, *seeds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Format())
+}

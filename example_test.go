@@ -1,0 +1,71 @@
+package fedforecaster_test
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"fedforecaster"
+)
+
+// demoSeries builds a deterministic seasonal series for the examples.
+func demoSeries() *fedforecaster.Series {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 2600)
+	for i := range vals {
+		vals[i] = 50 + 4*math.Sin(2*math.Pi*float64(i)/7) + 0.2*rng.NormFloat64()
+	}
+	return fedforecaster.NewSeries("example", vals, fedforecaster.RateDaily)
+}
+
+// ExampleRun demonstrates the minimal end-to-end flow: partition a
+// series into federated clients, run the AutoML engine, inspect the
+// selected algorithm.
+func ExampleRun() {
+	clients, err := demoSeries().PartitionClients(5, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := fedforecaster.Run(clients, fedforecaster.Options{Iterations: 4, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(result.History) == 4)
+	fmt.Println(result.BestConfig.Algorithm != "")
+	// Output:
+	// true
+	// true
+}
+
+// ExampleDeploy shows the inference phase: fit the winning
+// configuration per client and forecast ahead.
+func ExampleDeploy() {
+	clients, err := demoSeries().PartitionClients(4, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := fedforecaster.Run(clients, fedforecaster.Options{Iterations: 3, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := fedforecaster.Deploy(clients, result, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	forecast, err := dep.Models[0].Forecast(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The series oscillates around 50 with amplitude 4: every forecast
+	// must stay inside the plausible band.
+	ok := true
+	for _, v := range forecast {
+		if v < 40 || v > 60 {
+			ok = false
+		}
+	}
+	fmt.Println(len(forecast), ok)
+	// Output:
+	// 7 true
+}

@@ -1,0 +1,73 @@
+// Drift-aware re-tuning — the paper's "dynamic model adaptation"
+// future-work direction, implemented by core.AdaptiveRunner.
+//
+// A federation of sensor clients deploys a FedForecaster model, then
+// the data-generating process shifts (new level, new seasonality). The
+// adaptive runner notices the deployed configuration's global loss
+// degrading past its tolerance and re-runs the optimization,
+// recovering accuracy on the new regime.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"fedforecaster/internal/core"
+	"fedforecaster/internal/timeseries"
+)
+
+// regime synthesizes sensor data; after the shift the process changes
+// level, persistence, and gains a weekly cycle.
+func regime(total, clients int, shifted bool, seed int64) []*timeseries.Series {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, total)
+	vals[0] = 10
+	for i := 1; i < total; i++ {
+		if !shifted {
+			vals[i] = 10 + 0.8*(vals[i-1]-10) + 0.3*rng.NormFloat64()
+		} else {
+			vals[i] = 35 + 0.3*(vals[i-1]-35) + 4*math.Sin(2*math.Pi*float64(i)/7) + 1.5*rng.NormFloat64()
+		}
+	}
+	s := timeseries.New("sensors", vals, timeseries.RateDaily)
+	parts, err := s.PartitionClients(clients, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return parts
+}
+
+func main() {
+	cfg := core.DefaultEngineConfig()
+	cfg.Iterations = 6
+	cfg.Seed = 1
+	runner := core.NewAdaptiveRunner(core.NewEngine(nil, cfg), 1.5)
+
+	fmt.Println("deploying on the initial regime...")
+	dep, err := runner.Deploy(regime(1500, 3, false, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  deployed %s (valid loss %.4f, test MSE %.4f)\n\n",
+		dep.BestConfig.Algorithm, dep.BestValidLoss, dep.TestMSE)
+
+	fmt.Println("checking on fresh same-regime data...")
+	retuned, loss, err := runner.Check(regime(1500, 3, false, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  loss %.4f → re-tuned: %v (expected: false)\n\n", loss, retuned)
+
+	fmt.Println("checking after a distribution shift...")
+	retuned, loss, err = runner.Check(regime(1500, 3, true, 4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  drifted loss %.4f → re-tuned: %v (expected: true)\n", loss, retuned)
+	fmt.Printf("  new deployment: %s (valid loss %.4f, test MSE %.4f)\n",
+		runner.Last().BestConfig.Algorithm, runner.Last().BestValidLoss, runner.Last().TestMSE)
+}

@@ -1,0 +1,81 @@
+// Offline + online meta-learning (Figure 2), end to end:
+//
+//  1. build a small knowledge base with the paper's synthetic recipe
+//     (grid-searching every Table 2 algorithm per dataset);
+//
+//  2. train the Random-Forest meta-model on it;
+//
+//  3. evaluate all eight Table 4 classifiers by MRR@3 / F1;
+//
+//  4. use the meta-model online: recommend algorithms for a brand-new
+//     federated dataset and run FedForecaster warm-started by it.
+//
+//     go run ./examples/metalearning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fedforecaster"
+	"fedforecaster/internal/experiments"
+	"fedforecaster/internal/synth"
+)
+
+func main() {
+	// --- Offline phase -------------------------------------------------
+	fmt.Println("offline phase: building the knowledge base (scaled down)")
+	kb, err := fedforecaster.BuildKnowledgeBase(fedforecaster.KBOptions{
+		NumSynthetic: 36,
+		NumRealLike:  6,
+		SeriesScale:  0.2,
+		Seed:         1,
+		Progress: func(done, total int, _ string) {
+			if done%12 == 0 || done == total {
+				fmt.Printf("  %d/%d records\n", done, total)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("knowledge base: %d records\n\n", len(kb.Records))
+
+	// --- Table 4: which classifier makes the best meta-model? ----------
+	fmt.Println("meta-model comparison (Table 4 protocol):")
+	rep, err := experiments.RunTable4(kb, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Format())
+
+	meta, err := fedforecaster.TrainMetaModel(kb, rep.Best().Model, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Online phase ---------------------------------------------------
+	fmt.Println("\nonline phase: new federated dataset (births family, unseen)")
+	var d synth.EvalDataset
+	for _, e := range synth.EvalDatasets() {
+		if e.Name == "USBirthsDaily" {
+			d = e.Scaled(0.15)
+		}
+	}
+	d.Seed = 999 // unseen draw
+	clients, _, err := d.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := fedforecaster.Run(clients, fedforecaster.Options{
+		Iterations: 8,
+		Meta:       meta,
+		Seed:       4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("meta-model recommended: %v\n", res.Recommended)
+	fmt.Println("best configuration:", res.BestConfig)
+	fmt.Printf("held-out test MSE: %.5f\n", res.TestMSE)
+}

@@ -1,0 +1,3 @@
+module fedforecaster
+
+go 1.22

@@ -1,0 +1,199 @@
+package bayesopt
+
+import (
+	"math"
+	"math/rand"
+
+	"fedforecaster/internal/search"
+)
+
+// Optimizer coordinates Bayesian optimization across the recommended
+// algorithm subspaces: one independent GP per algorithm, expected
+// improvement maximized jointly over all of them. Warm-start
+// configurations (the meta-model's recommendations) are evaluated
+// first, exactly as Algorithm 1 prescribes.
+type Optimizer struct {
+	spaces []search.Space
+	rng    *rand.Rand
+	// exploration controls
+	candidates int     // EI candidate samples per space per proposal
+	xi         float64 // EI exploration margin (in standardized loss units)
+
+	queue []search.Config // pending warm-start evaluations
+	obs   map[string]*spaceObs
+	best  search.Config
+	bestY float64
+	seen  map[string]bool // dedupe proposals
+	n     int             // total observations
+}
+
+type spaceObs struct {
+	space search.Space
+	x     [][]float64
+	y     []float64
+}
+
+// New returns an optimizer over the given subspaces.
+func New(spaces []search.Space, seed int64) *Optimizer {
+	o := &Optimizer{
+		spaces:     spaces,
+		rng:        rand.New(rand.NewSource(seed)),
+		candidates: 256,
+		xi:         0.01,
+		obs:        map[string]*spaceObs{},
+		seen:       map[string]bool{},
+		bestY:      math.Inf(1),
+	}
+	for _, s := range spaces {
+		o.obs[s.Algorithm] = &spaceObs{space: s}
+	}
+	return o
+}
+
+// Warm enqueues initial configurations to be returned by Next before
+// any model-based proposal.
+func (o *Optimizer) Warm(cfgs []search.Config) {
+	for _, c := range cfgs {
+		if _, ok := o.obs[c.Algorithm]; ok {
+			o.queue = append(o.queue, c.Clone())
+		}
+	}
+}
+
+// minPerSpace is the number of observations a subspace needs before
+// its GP participates in EI; until then it is explored uniformly. One
+// observation suffices because warm starts already seed each space —
+// forcing more would eat most of a small federated budget on uniform
+// exploration.
+const minPerSpace = 1
+
+// Next proposes the next configuration to evaluate.
+func (o *Optimizer) Next() search.Config {
+	if len(o.queue) > 0 {
+		c := o.queue[0]
+		o.queue = o.queue[1:]
+		return c
+	}
+	// Ensure every space has minimum coverage first (round-robin).
+	for _, s := range o.spaces {
+		if len(o.obs[s.Algorithm].y) < minPerSpace {
+			return o.sampleUnseen(s)
+		}
+	}
+	// GP-EI over all spaces on *globally standardized* losses, so
+	// subspaces with few observations (or very different loss scales)
+	// compete on one objective and retain a sane exploration scale.
+	var all []float64
+	for _, so := range o.obs {
+		all = append(all, so.y...)
+	}
+	gMean := mean(all)
+	gStd := stddev(all, gMean)
+	if gStd < 1e-12 {
+		gStd = 1
+	}
+	std := func(v float64) float64 { return (v - gMean) / gStd }
+	incumbent := std(o.bestY)
+
+	bestEI := -1.0
+	var bestCfg search.Config
+	havePick := false
+	for _, s := range o.spaces {
+		so := o.obs[s.Algorithm]
+		ys := make([]float64, len(so.y))
+		for i, v := range so.y {
+			ys[i] = std(v)
+		}
+		g := newGP(s.Dim())
+		if err := g.fit(so.x, ys); err != nil {
+			continue
+		}
+		for c := 0; c < o.candidates; c++ {
+			u := make([]float64, s.Dim())
+			for i := range u {
+				u[i] = o.rng.Float64()
+			}
+			mu, sigma := g.predict(u)
+			ei := expectedImprovement(mu, sigma, incumbent, o.xi)
+			if ei > bestEI {
+				cfg := s.Decode(u)
+				if o.seen[cfg.String()] {
+					continue
+				}
+				bestEI = ei
+				bestCfg = cfg
+				havePick = true
+			}
+		}
+	}
+	if !havePick || bestEI <= 0 {
+		// Acquisition exhausted (or everything proposed already):
+		// fall back to uniform exploration.
+		s := o.spaces[o.rng.Intn(len(o.spaces))]
+		return o.sampleUnseen(s)
+	}
+	return bestCfg
+}
+
+func (o *Optimizer) sampleUnseen(s search.Space) search.Config {
+	for attempt := 0; attempt < 32; attempt++ {
+		c := s.Sample(o.rng)
+		if !o.seen[c.String()] {
+			return c
+		}
+	}
+	return s.Sample(o.rng)
+}
+
+// Observe records the aggregated global loss of a configuration.
+// Non-finite losses are clamped to a large penalty so the surrogate
+// learns to avoid the region instead of crashing.
+func (o *Optimizer) Observe(cfg search.Config, loss float64) {
+	so, ok := o.obs[cfg.Algorithm]
+	if !ok {
+		return
+	}
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		loss = math.MaxFloat64 / 1e10
+	}
+	o.seen[cfg.String()] = true
+	so.x = append(so.x, so.space.Encode(cfg))
+	so.y = append(so.y, loss)
+	o.n++
+	if loss < o.bestY {
+		o.bestY = loss
+		o.best = cfg.Clone()
+	}
+}
+
+// Best returns the incumbent configuration and its loss; ok is false
+// before any observation.
+func (o *Optimizer) Best() (cfg search.Config, loss float64, ok bool) {
+	if math.IsInf(o.bestY, 1) {
+		return search.Config{}, 0, false
+	}
+	return o.best.Clone(), o.bestY, true
+}
+
+// NumObservations returns the number of recorded evaluations.
+func (o *Optimizer) NumObservations() int { return o.n }
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+func stddev(xs []float64, m float64) float64 {
+	var s float64
+	for _, v := range xs {
+		d := v - m
+		s += d * d
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

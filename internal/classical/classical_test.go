@@ -1,0 +1,228 @@
+package classical
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func seasonalTrendSeries(n, period int, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 20 + 0.05*float64(i) +
+			5*math.Sin(2*math.Pi*float64(i)/float64(period)) +
+			noise*rng.NormFloat64()
+	}
+	return out
+}
+
+func TestHoltWintersTracksSeasonalTrend(t *testing.T) {
+	series := seasonalTrendSeries(400, 12, 0.3, 1)
+	m := NewHoltWinters(0.3, 0.1, 0.2, 12)
+	if err := m.Fit(series[:360]); err != nil {
+		t.Fatal(err)
+	}
+	mse, err := m.EvaluateOneStep(series[360:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Persistence baseline for comparison.
+	var naive float64
+	for i := 361; i < 400; i++ {
+		d := series[i] - series[i-1]
+		naive += d * d
+	}
+	naive /= 39
+	if mse > naive {
+		t.Errorf("HW MSE %v worse than persistence %v", mse, naive)
+	}
+}
+
+func TestHoltWintersForecastShape(t *testing.T) {
+	series := seasonalTrendSeries(300, 10, 0.1, 2)
+	m := NewHoltWinters(0.3, 0.1, 0.2, 10)
+	if err := m.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	fc, err := m.Forecast(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fc) != 20 {
+		t.Fatalf("forecast length = %d", len(fc))
+	}
+	// The forecast must itself be seasonal: its peak-to-trough range
+	// over two periods should reflect the ±5 amplitude (minus the small
+	// trend contribution).
+	lo, hi := fc[0], fc[0]
+	for _, v := range fc {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi-lo < 6 {
+		t.Errorf("forecast lost seasonality: range = %v, want ≳ 2×amplitude", hi-lo)
+	}
+	// And trending upward on average.
+	if fc[19] <= series[279]-5 {
+		t.Errorf("forecast lost the trend: %v", fc)
+	}
+}
+
+func TestHoltWintersNonSeasonalMode(t *testing.T) {
+	// Pure trend, no seasonality: Holt's linear method.
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = 2 + 0.5*float64(i)
+	}
+	m := NewHoltWinters(0.5, 0.3, 0.2, 0)
+	if err := m.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	fc, err := m.Forecast(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h, v := range fc {
+		want := 2 + 0.5*float64(100+h)
+		if math.Abs(v-want) > 1.0 {
+			t.Errorf("h=%d forecast %v, want ≈ %v", h, v, want)
+		}
+	}
+}
+
+func TestHoltWintersTooShort(t *testing.T) {
+	if err := NewHoltWinters(0.3, 0.1, 0.2, 12).Fit(make([]float64, 10)); err == nil {
+		t.Error("short seasonal series accepted")
+	}
+	if err := NewHoltWinters(0.3, 0.1, 0.2, 0).Fit(make([]float64, 2)); err == nil {
+		t.Error("2-point series accepted")
+	}
+}
+
+func TestHoltWintersGridSelection(t *testing.T) {
+	series := seasonalTrendSeries(300, 12, 0.3, 3)
+	m, err := FitHoltWintersGrid(series, 12, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := m.Forecast(1)
+	if err != nil || math.IsNaN(fc[0]) {
+		t.Fatalf("grid-selected model broken: %v %v", fc, err)
+	}
+}
+
+func TestARRecoversCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 5000
+	series := make([]float64, n)
+	for i := 2; i < n; i++ {
+		series[i] = 0.6*series[i-1] + 0.25*series[i-2] + rng.NormFloat64()
+	}
+	m := NewAR(2, 0)
+	if err := m.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	coef := m.Coefficients()
+	if math.Abs(coef[0]-0.6) > 0.05 || math.Abs(coef[1]-0.25) > 0.05 {
+		t.Errorf("coefficients = %v, want ≈ [0.6 0.25]", coef)
+	}
+}
+
+func TestARForecastMeanReverts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 2000
+	series := make([]float64, n)
+	for i := 1; i < n; i++ {
+		series[i] = 10 + 0.5*(series[i-1]-10) + 0.1*rng.NormFloat64()
+	}
+	m := NewAR(1, 0)
+	if err := m.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	fc, err := m.Forecast(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long-horizon forecasts converge to the process mean (≈ 10).
+	if math.Abs(fc[49]-10) > 1 {
+		t.Errorf("long-horizon forecast %v, want ≈ 10", fc[49])
+	}
+}
+
+func TestARIDifferencingHandlesTrend(t *testing.T) {
+	// Random walk with drift: AR on levels is misspecified; ARI(1,1)
+	// models the increments correctly.
+	rng := rand.New(rand.NewSource(6))
+	n := 1500
+	series := make([]float64, n)
+	for i := 1; i < n; i++ {
+		series[i] = series[i-1] + 0.5 + 0.2*rng.NormFloat64()
+	}
+	m := NewAR(1, 1)
+	if err := m.Fit(series[:1400]); err != nil {
+		t.Fatal(err)
+	}
+	mse, err := m.EvaluateOneStep(series[1400:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-step errors should be near the innovation variance (0.04).
+	if mse > 0.2 {
+		t.Errorf("ARI(1,1) one-step MSE = %v", mse)
+	}
+	// Forecast keeps climbing with the drift.
+	fc, err := m.Forecast(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc[9] <= fc[0] {
+		t.Errorf("drift lost in forecast: %v", fc)
+	}
+}
+
+func TestSelectARPrefersTrueOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 4000
+	series := make([]float64, n)
+	for i := 2; i < n; i++ {
+		series[i] = 0.5*series[i-1] + 0.3*series[i-2] + rng.NormFloat64()
+	}
+	m, err := SelectAR(series, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.D != 0 {
+		t.Errorf("selected d = %d, want 0 for stationary data", m.D)
+	}
+	if m.P < 2 || m.P > 3 {
+		t.Errorf("selected p = %d, want ≈ 2", m.P)
+	}
+}
+
+func TestSelectARTooShort(t *testing.T) {
+	if _, err := SelectAR([]float64{1, 2, 3}, 3, 1); err == nil {
+		t.Error("tiny series accepted")
+	}
+}
+
+func TestMethodsBeforeFit(t *testing.T) {
+	hw := NewHoltWinters(0.3, 0.1, 0.2, 0)
+	if _, err := hw.Forecast(1); err == nil {
+		t.Error("HW forecast before fit accepted")
+	}
+	if err := hw.Update(1); err == nil {
+		t.Error("HW update before fit accepted")
+	}
+	ar := NewAR(1, 0)
+	if _, err := ar.Forecast(1); err == nil {
+		t.Error("AR forecast before fit accepted")
+	}
+	if _, err := ar.EvaluateOneStep([]float64{1}); err == nil {
+		t.Error("AR evaluate before fit accepted")
+	}
+}

@@ -1,0 +1,200 @@
+// Package classical implements the centralized classical forecasters
+// the paper's related work positions FedForecaster against ("ARIMA and
+// LSTMs ... depend on access to aggregated data", Section 2): additive
+// Holt-Winters exponential smoothing and autoregressive AR(p)/ARI(p,d)
+// models. They serve as extension baselines in the evaluation harness
+// and as additional library value for downstream users.
+package classical
+
+import (
+	"errors"
+	"math"
+)
+
+// HoltWinters is additive triple exponential smoothing. With
+// SeasonLength ≤ 1 it degrades to Holt's double smoothing (level +
+// trend).
+type HoltWinters struct {
+	Alpha        float64 // level smoothing in (0,1)
+	Beta         float64 // trend smoothing in (0,1)
+	Gamma        float64 // seasonal smoothing in (0,1)
+	SeasonLength int
+
+	level    float64
+	trend    float64
+	seasonal []float64
+	seen     int
+	fitted   bool
+}
+
+// NewHoltWinters returns a smoother with the given parameters;
+// non-positive smoothing constants default to (0.3, 0.1, 0.2).
+func NewHoltWinters(alpha, beta, gamma float64, seasonLength int) *HoltWinters {
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.3
+	}
+	if beta <= 0 || beta >= 1 {
+		beta = 0.1
+	}
+	if gamma <= 0 || gamma >= 1 {
+		gamma = 0.2
+	}
+	return &HoltWinters{Alpha: alpha, Beta: beta, Gamma: gamma, SeasonLength: seasonLength}
+}
+
+var errTooShort = errors.New("classical: series too short")
+
+// Fit initializes and runs the smoothing recursions over the series.
+func (m *HoltWinters) Fit(series []float64) error {
+	n := len(series)
+	s := m.SeasonLength
+	if s > 1 && n < 2*s+2 {
+		return errTooShort
+	}
+	if s <= 1 && n < 4 {
+		return errTooShort
+	}
+
+	if s > 1 {
+		// Initial level/trend from the first two seasons; initial
+		// seasonal indices from first-season deviations.
+		var mean1, mean2 float64
+		for i := 0; i < s; i++ {
+			mean1 += series[i]
+			mean2 += series[s+i]
+		}
+		mean1 /= float64(s)
+		mean2 /= float64(s)
+		m.level = mean1
+		m.trend = (mean2 - mean1) / float64(s)
+		m.seasonal = make([]float64, s)
+		for i := 0; i < s; i++ {
+			m.seasonal[i] = series[i] - mean1
+		}
+	} else {
+		m.level = series[0]
+		m.trend = series[1] - series[0]
+		m.seasonal = nil
+	}
+
+	start := 0
+	if s > 1 {
+		start = s
+	} else {
+		start = 1
+	}
+	for t := start; t < n; t++ {
+		m.update(series[t], t)
+	}
+	m.seen = n
+	m.fitted = true
+	return nil
+}
+
+// update advances the recursions with one observation at index t.
+func (m *HoltWinters) update(y float64, t int) {
+	s := m.SeasonLength
+	if s > 1 {
+		si := t % s
+		prevLevel := m.level
+		m.level = m.Alpha*(y-m.seasonal[si]) + (1-m.Alpha)*(m.level+m.trend)
+		m.trend = m.Beta*(m.level-prevLevel) + (1-m.Beta)*m.trend
+		m.seasonal[si] = m.Gamma*(y-m.level) + (1-m.Gamma)*m.seasonal[si]
+	} else {
+		prevLevel := m.level
+		m.level = m.Alpha*y + (1-m.Alpha)*(m.level+m.trend)
+		m.trend = m.Beta*(m.level-prevLevel) + (1-m.Beta)*m.trend
+	}
+}
+
+// Forecast returns the next horizon values after the fitted series.
+func (m *HoltWinters) Forecast(horizon int) ([]float64, error) {
+	if !m.fitted {
+		return nil, errors.New("classical: Forecast before Fit")
+	}
+	out := make([]float64, horizon)
+	s := m.SeasonLength
+	for h := 1; h <= horizon; h++ {
+		v := m.level + float64(h)*m.trend
+		if s > 1 {
+			v += m.seasonal[(m.seen+h-1)%s]
+		}
+		out[h-1] = v
+	}
+	return out, nil
+}
+
+// Update ingests one new observation (online operation after Fit).
+func (m *HoltWinters) Update(y float64) error {
+	if !m.fitted {
+		return errors.New("classical: Update before Fit")
+	}
+	m.update(y, m.seen)
+	m.seen++
+	return nil
+}
+
+// EvaluateOneStep computes rolling one-step MSE over valid given the
+// fitted history, updating the state after each prediction — the same
+// protocol the other baselines use.
+func (m *HoltWinters) EvaluateOneStep(valid []float64) (float64, error) {
+	if !m.fitted {
+		return 0, errors.New("classical: Evaluate before Fit")
+	}
+	if len(valid) == 0 {
+		return math.NaN(), nil
+	}
+	var sse float64
+	for _, y := range valid {
+		pred, err := m.Forecast(1)
+		if err != nil {
+			return 0, err
+		}
+		d := pred[0] - y
+		sse += d * d
+		if err := m.Update(y); err != nil {
+			return 0, err
+		}
+	}
+	return sse / float64(len(valid)), nil
+}
+
+// FitHoltWintersGrid selects (α, β, γ) over a coarse grid by one-step
+// MSE on the last validFrac of the series, then refits on everything —
+// a pragmatic stand-in for maximum-likelihood estimation.
+func FitHoltWintersGrid(series []float64, seasonLength int, validFrac float64) (*HoltWinters, error) {
+	n := len(series)
+	if validFrac <= 0 || validFrac >= 0.5 {
+		validFrac = 0.2
+	}
+	cut := n - int(float64(n)*validFrac)
+	if cut < 4 {
+		return nil, errTooShort
+	}
+	grid := []float64{0.1, 0.3, 0.6, 0.9}
+	best := math.Inf(1)
+	var bestCfg [3]float64
+	for _, a := range grid {
+		for _, b := range grid {
+			for _, g := range grid {
+				m := NewHoltWinters(a, b, g, seasonLength)
+				if err := m.Fit(series[:cut]); err != nil {
+					return nil, err
+				}
+				mse, err := m.EvaluateOneStep(series[cut:])
+				if err != nil {
+					continue
+				}
+				if mse < best {
+					best = mse
+					bestCfg = [3]float64{a, b, g}
+				}
+			}
+		}
+	}
+	final := NewHoltWinters(bestCfg[0], bestCfg[1], bestCfg[2], seasonLength)
+	if err := final.Fit(series); err != nil {
+		return nil, err
+	}
+	return final, nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedforecaster/internal/timeseries"
+)
+
+// shiftedDataset produces a federated dataset whose generating process
+// changes when shift is true (level + dynamics change → deployed
+// models degrade).
+func shiftedDataset(total, clients int, shift bool, seed int64) []*timeseries.Series {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, total)
+	vals[0] = 10
+	for i := 1; i < total; i++ {
+		if !shift {
+			vals[i] = 10 + 0.8*(vals[i-1]-10) + 0.3*rng.NormFloat64()
+		} else {
+			// Different level, stronger noise, added seasonality.
+			vals[i] = 40 + 0.3*(vals[i-1]-40) + 5*math.Sin(2*math.Pi*float64(i)/7) + 2*rng.NormFloat64()
+		}
+	}
+	s := timeseries.New("drift", vals, timeseries.RateDaily)
+	parts, err := s.PartitionClients(clients, 50)
+	if err != nil {
+		panic(err)
+	}
+	return parts
+}
+
+func TestAdaptiveRunnerStableDataNoRetune(t *testing.T) {
+	engine := NewEngine(nil, smallEngineConfig(1))
+	runner := NewAdaptiveRunner(engine, 2.0)
+	clients := shiftedDataset(1200, 3, false, 2)
+	if _, err := runner.Deploy(clients); err != nil {
+		t.Fatal(err)
+	}
+	// Same-distribution fresh draw: must not re-tune.
+	fresh := shiftedDataset(1200, 3, false, 3)
+	retuned, loss, err := runner.Check(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retuned {
+		t.Errorf("re-tuned on stable data (loss %v vs deployed %v)", loss, runner.Last().BestValidLoss)
+	}
+}
+
+func TestAdaptiveRunnerDetectsDrift(t *testing.T) {
+	engine := NewEngine(nil, smallEngineConfig(4))
+	runner := NewAdaptiveRunner(engine, 1.5)
+	clients := shiftedDataset(1200, 3, false, 5)
+	dep, err := runner.Deploy(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distribution shift: losses must blow past the tolerance and
+	// trigger a re-tune; the new deployment replaces the old.
+	shifted := shiftedDataset(1200, 3, true, 6)
+	retuned, loss, err := runner.Check(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !retuned {
+		t.Fatalf("drift not detected (loss %v vs deployed %v)", loss, dep.BestValidLoss)
+	}
+	if runner.Last() == dep {
+		t.Error("deployment not replaced after re-tune")
+	}
+	// The re-tuned model should fit the new regime better than the old
+	// validation loss measured on it.
+	if runner.Last().BestValidLoss >= loss {
+		t.Errorf("re-tuned loss %v not better than drifted loss %v", runner.Last().BestValidLoss, loss)
+	}
+}
+
+func TestAdaptiveRunnerCheckBeforeDeploy(t *testing.T) {
+	runner := NewAdaptiveRunner(NewEngine(nil, smallEngineConfig(7)), 1.5)
+	if _, _, err := runner.Check(shiftedDataset(1200, 3, false, 8)); err != ErrNotDeployed {
+		t.Fatalf("err = %v, want ErrNotDeployed", err)
+	}
+}

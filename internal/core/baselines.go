@@ -1,0 +1,51 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"fedforecaster/internal/metalearn"
+	"fedforecaster/internal/pipeline"
+	"fedforecaster/internal/timeseries"
+)
+
+// newRng centralizes RNG construction for the engine.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// RandomSearchConfig controls the federated random-search baseline.
+type RandomSearchConfig struct {
+	Iterations int
+	TimeBudget time.Duration
+	Splits     pipeline.Splits
+	Seed       int64
+}
+
+// RunRandomSearch executes the paper's random-search baseline: the
+// same federated evaluation loop and feature engineering as
+// FedForecaster, but configurations drawn uniformly from the *full*
+// Table 2 space with no meta-learning, no warm start, and no
+// surrogate. Implemented as an Engine ablation so both methods share
+// one code path.
+func RunRandomSearch(clients []*timeseries.Series, cfg RandomSearchConfig) (*Result, error) {
+	eng := NewEngine(nil, EngineConfig{
+		Iterations:       cfg.Iterations,
+		TimeBudget:       cfg.TimeBudget,
+		Splits:           cfg.Splits,
+		Seed:             cfg.Seed,
+		FeatureSelection: true,
+		WarmStart:        false,
+		UseBayesOpt:      false,
+	})
+	return eng.Run(clients)
+}
+
+// RunFedForecaster executes the full method with the given meta-model
+// and the paper's defaults, at the given iteration budget.
+func RunFedForecaster(clients []*timeseries.Series, meta *metalearn.MetaModel,
+	iterations int, splits pipeline.Splits, seed int64) (*Result, error) {
+	cfg := DefaultEngineConfig()
+	cfg.Iterations = iterations
+	cfg.Splits = splits
+	cfg.Seed = seed
+	return NewEngine(meta, cfg).Run(clients)
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fedforecaster/internal/features"
+	"fedforecaster/internal/fl"
+	"fedforecaster/internal/metafeat"
+	"fedforecaster/internal/pipeline"
+	"fedforecaster/internal/timeseries"
+)
+
+// ClientNode is a federated participant holding one private
+// time-series split. It implements fl.Client; raw observations never
+// leave the node — only scalar statistics, histograms, feature
+// importances, and losses, matching the paper's privacy model.
+type ClientNode struct {
+	series *timeseries.Series
+	seed   int64
+	// privacyEps > 0 enables the Laplace perturbation of the shared
+	// meta-features (metafeat.Privatize) — a client-side choice.
+	privacyEps float64
+	privacyRng *rand.Rand
+}
+
+// NewClientNode wraps a private series split into a protocol
+// participant.
+func NewClientNode(s *timeseries.Series, seed int64) *ClientNode {
+	return &ClientNode{series: s, seed: seed}
+}
+
+// WithPrivacy enables local meta-feature perturbation at the given
+// epsilon (smaller = noisier) and returns the node for chaining.
+func (c *ClientNode) WithPrivacy(epsilon float64) *ClientNode {
+	c.privacyEps = epsilon
+	c.privacyRng = rand.New(rand.NewSource(c.seed ^ 0x5f5f))
+	return c
+}
+
+// Properties answers the server's metadata queries.
+func (c *ClientNode) Properties(req fl.Message) (fl.Message, error) {
+	switch req.Kind {
+	case kindRange:
+		resp := fl.NewMessage(kindRange)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range c.series.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if !(hi > lo) {
+			lo, hi = 0, 1
+		}
+		resp.Scalars["lo"] = lo
+		resp.Scalars["hi"] = hi
+		resp.Scalars["size"] = float64(c.series.Len())
+		return resp, nil
+
+	case kindMetaFeatures:
+		cf := metafeat.ExtractClient(c.series, req.Scalars["lo"], req.Scalars["hi"])
+		if c.privacyEps > 0 {
+			cf = metafeat.Privatize(cf, c.privacyEps, c.privacyRng)
+		}
+		resp := fl.NewMessage(kindMetaFeatures)
+		encodeClientFeatures(&resp, cf)
+		return resp, nil
+
+	case kindImportances:
+		eng := decodeEngineer(req)
+		ds, err := eng.Build(c.series, 0)
+		if err != nil {
+			return fl.Message{}, err
+		}
+		imp, err := features.ClientImportances(ds, c.seed)
+		if err != nil {
+			return fl.Message{}, err
+		}
+		resp := fl.NewMessage(kindImportances)
+		resp.Floats["importances"] = imp
+		return resp, nil
+	}
+	return fl.Message{}, fmt.Errorf("core: unknown properties request %q", req.Kind)
+}
+
+// Fit handles the final-model round: fit the chosen configuration on
+// train+valid and report the held-out test loss (Algorithm 1 lines
+// 23-25, with Table 3's test reporting).
+func (c *ClientNode) Fit(req fl.Message) (fl.Message, error) {
+	if req.Kind != kindFitFinal {
+		return fl.Message{}, fmt.Errorf("core: unknown fit request %q", req.Kind)
+	}
+	return c.evaluate(req, "test")
+}
+
+// Evaluate handles optimization rounds: fit a candidate on the train
+// rows and report the validation loss (Algorithm 1 lines 17-20).
+func (c *ClientNode) Evaluate(req fl.Message) (fl.Message, error) {
+	if req.Kind != kindEvalConfig {
+		return fl.Message{}, fmt.Errorf("core: unknown eval request %q", req.Kind)
+	}
+	return c.evaluate(req, "valid")
+}
+
+func (c *ClientNode) evaluate(req fl.Message, phase string) (fl.Message, error) {
+	eng := decodeEngineer(req)
+	cfg := decodeConfig(req)
+	splits := decodeSplits(req)
+	resp := fl.NewMessage(req.Kind + "/done")
+	loss, rows, err := pipeline.ClientLoss(c.series, eng, cfg, splits, phase, c.seed)
+	if err != nil {
+		// A client whose split is too small reports itself as skipped
+		// rather than failing the round; the server excludes it from
+		// aggregation (the paper drops sub-500-instance splits up
+		// front, this is the runtime guard).
+		if err == pipeline.ErrNotEnoughData {
+			resp.Scalars["skipped"] = 1
+			return resp, nil
+		}
+		return fl.Message{}, err
+	}
+	resp.Scalars["loss"] = loss
+	resp.Scalars["rows"] = float64(rows)
+	resp.Scalars["size"] = float64(c.series.Len())
+	return resp, nil
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fedforecaster/internal/bayesopt"
+	"fedforecaster/internal/features"
+	"fedforecaster/internal/fl"
+	"fedforecaster/internal/metafeat"
+	"fedforecaster/internal/metalearn"
+	"fedforecaster/internal/pipeline"
+	"fedforecaster/internal/search"
+	"fedforecaster/internal/timeseries"
+)
+
+// EngineConfig controls one FedForecaster run.
+type EngineConfig struct {
+	// TopK recommended algorithms forming the restricted search space
+	// A' (paper: K = 3). Ignored when no meta-model is set.
+	TopK int
+	// Iterations is the optimization budget in configuration
+	// evaluations (each costs one federated round). The paper uses a
+	// wall-clock budget; TimeBudget may additionally cap runtime.
+	Iterations int
+	// TimeBudget, when positive, stops optimization when exhausted
+	// even if Iterations remain (T in Algorithm 1).
+	TimeBudget time.Duration
+	// Splits are the chronological train/valid/test fractions.
+	Splits pipeline.Splits
+	// Seed drives all stochastic components.
+	Seed int64
+	// FeatureSelection toggles the federated RF importance selection
+	// (ablation: on in the paper).
+	FeatureSelection bool
+	// WarmStart toggles seeding BO with the recommended algorithms'
+	// default configurations (ablation: on in the paper).
+	WarmStart bool
+	// UseBayesOpt toggles the GP surrogate; false degrades proposals to
+	// uniform random sampling over the restricted space (ablation).
+	UseBayesOpt bool
+	// Spaces overrides the Table 2 search space (nil = default).
+	Spaces []search.Space
+	// ExogChannels names exogenous series channels every client carries
+	// (multivariate extension); their lag-1 values join the feature
+	// schema.
+	ExogChannels []string
+	// PrivacyEpsilon, when > 0, makes in-process clients perturb their
+	// shared meta-features with the Laplace mechanism (smaller =
+	// noisier). TCP clients configure this themselves via
+	// ClientNode.WithPrivacy.
+	PrivacyEpsilon float64
+	// Trace receives phase events (Figure 1's I-IV) when non-nil.
+	Trace func(event string)
+}
+
+// DefaultEngineConfig mirrors the paper's setup: K=3, warm start,
+// Bayesian optimization and feature selection on.
+func DefaultEngineConfig() EngineConfig {
+	return EngineConfig{
+		TopK:             3,
+		Iterations:       24,
+		Splits:           pipeline.Splits{ValidFrac: 0.15, TestFrac: 0.15},
+		FeatureSelection: true,
+		WarmStart:        true,
+		UseBayesOpt:      true,
+	}
+}
+
+// IterationRecord is one optimization step of the run history.
+type IterationRecord struct {
+	Config     search.Config
+	GlobalLoss float64
+	Elapsed    time.Duration
+}
+
+// Result is the outcome of a FedForecaster run.
+type Result struct {
+	BestConfig     search.Config
+	BestValidLoss  float64
+	TestMSE        float64
+	Iterations     int
+	History        []IterationRecord
+	Recommended    []string
+	KeptFeatures   []int
+	NumFeatures    int
+	AggregatedMeta metafeat.Aggregated
+}
+
+// Engine is the FedForecaster server-side orchestrator.
+type Engine struct {
+	Meta *metalearn.MetaModel // nil disables meta-learning (cold start)
+	Cfg  EngineConfig
+}
+
+// NewEngine returns an engine with the given meta-model (may be nil)
+// and configuration.
+func NewEngine(meta *metalearn.MetaModel, cfg EngineConfig) *Engine {
+	if cfg.TopK <= 0 {
+		cfg.TopK = 3
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 24
+	}
+	return &Engine{Meta: meta, Cfg: cfg}
+}
+
+// Run executes Algorithm 1 against in-process clients built from the
+// given private splits.
+func (e *Engine) Run(clients []*timeseries.Series) (*Result, error) {
+	nodes := make([]fl.Client, len(clients))
+	for i, s := range clients {
+		node := NewClientNode(s, e.Cfg.Seed+int64(i)*101)
+		if e.Cfg.PrivacyEpsilon > 0 {
+			node = node.WithPrivacy(e.Cfg.PrivacyEpsilon)
+		}
+		nodes[i] = node
+	}
+	srv := fl.NewServer(fl.NewInProc(nodes))
+	defer srv.Close()
+	return e.RunWithServer(srv)
+}
+
+// RunWithServer executes Algorithm 1 over an arbitrary transport (the
+// TCP deployment path uses this directly).
+func (e *Engine) RunWithServer(srv *fl.Server) (*Result, error) {
+	if srv.NumClients() == 0 {
+		return nil, errors.New("core: no clients connected")
+	}
+	start := time.Now()
+	trace := e.Cfg.Trace
+	if trace == nil {
+		trace = func(string) {}
+	}
+
+	// Phase I: meta-features computed on each client, aggregated on the
+	// server (Figure 1-I, Algorithm 1 lines 3-8).
+	trace("phase I: collecting meta-features")
+	agg, err := e.collectMetaFeatures(srv)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase II: the meta-model recommends the restricted search space
+	// A' (Figure 1-II, lines 9-10).
+	spaces := e.Cfg.Spaces
+	if spaces == nil {
+		spaces = search.DefaultSpaces()
+	}
+	var recommended []string
+	if e.Meta != nil {
+		recommended = e.Meta.RecommendTopK(agg.Vector(), e.Cfg.TopK)
+		var restricted []search.Space
+		for _, name := range recommended {
+			if sp, ok := search.SpaceFor(spaces, name); ok {
+				restricted = append(restricted, sp)
+			}
+		}
+		if len(restricted) > 0 {
+			spaces = restricted
+		}
+		trace(fmt.Sprintf("phase II: meta-model recommends %v", recommended))
+	} else {
+		trace("phase II: no meta-model, searching the full space")
+	}
+
+	// Phase III-a: unified feature engineering + federated feature
+	// selection (Figure 1-III, lines 11-13, Section 4.2).
+	eng := features.NewEngineer(agg)
+	eng.ExogNames = append([]string(nil), e.Cfg.ExogChannels...)
+	result := &Result{Recommended: recommended, AggregatedMeta: agg, NumFeatures: len(eng.FeatureNames())}
+	if e.Cfg.FeatureSelection {
+		trace("phase III: federated feature selection")
+		kept, err := e.selectFeatures(srv, eng)
+		if err != nil {
+			return nil, err
+		}
+		if len(kept) > 0 {
+			eng.Keep = kept
+			result.KeptFeatures = kept
+		}
+	}
+
+	// Phase III-b: hyper-parameter optimization against the aggregated
+	// global loss (lines 14-22, Section 4.3).
+	trace("phase III: Bayesian optimization")
+	opt := bayesopt.New(spaces, e.Cfg.Seed)
+	if e.Cfg.WarmStart {
+		var warm []search.Config
+		for _, sp := range spaces {
+			// The space centre is the canonical default instantiation.
+			u := make([]float64, sp.Dim())
+			for i := range u {
+				u[i] = 0.5
+			}
+			warm = append(warm, sp.Decode(u))
+		}
+		opt.Warm(warm)
+	}
+	rng := newRng(e.Cfg.Seed + 7)
+	for iter := 0; iter < e.Cfg.Iterations; iter++ {
+		// Always evaluate at least one configuration so a budget spent
+		// on the earlier phases still yields a deployable model.
+		if iter > 0 && e.Cfg.TimeBudget > 0 && time.Since(start) > e.Cfg.TimeBudget {
+			break
+		}
+		var cfg search.Config
+		if e.Cfg.UseBayesOpt {
+			cfg = opt.Next()
+		} else {
+			sp := spaces[rng.Intn(len(spaces))]
+			cfg = sp.Sample(rng)
+		}
+		loss, err := e.globalLoss(srv, eng, cfg, "valid")
+		if err != nil {
+			return nil, err
+		}
+		opt.Observe(cfg, loss)
+		result.History = append(result.History, IterationRecord{
+			Config: cfg, GlobalLoss: loss, Elapsed: time.Since(start),
+		})
+	}
+	best, bestLoss, ok := opt.Best()
+	if !ok {
+		return nil, errors.New("core: optimization produced no evaluations")
+	}
+	result.BestConfig = best
+	result.BestValidLoss = bestLoss
+	result.Iterations = len(result.History)
+
+	// Phase IV: final fit on each client and aggregated test metric
+	// (Figure 1-IV, lines 23-27).
+	trace(fmt.Sprintf("phase IV: final fit of %s", best.Algorithm))
+	testMSE, err := e.globalLossKind(srv, eng, best, kindFitFinal)
+	if err != nil {
+		return nil, err
+	}
+	result.TestMSE = testMSE
+	return result, nil
+}
+
+// collectMetaFeatures runs the two Phase-I rounds.
+func (e *Engine) collectMetaFeatures(srv *fl.Server) (metafeat.Aggregated, error) {
+	rangeResps, err := srv.Broadcast(fl.NewMessage(kindRange))
+	if err != nil {
+		return metafeat.Aggregated{}, roundTripError("range", err)
+	}
+	lo, hi := rangeResps[0].Scalars["lo"], rangeResps[0].Scalars["hi"]
+	for _, r := range rangeResps[1:] {
+		if r.Scalars["lo"] < lo {
+			lo = r.Scalars["lo"]
+		}
+		if r.Scalars["hi"] > hi {
+			hi = r.Scalars["hi"]
+		}
+	}
+	req := fl.NewMessage(kindMetaFeatures)
+	req.Scalars["lo"] = lo
+	req.Scalars["hi"] = hi
+	resps, err := srv.Broadcast(req)
+	if err != nil {
+		return metafeat.Aggregated{}, roundTripError("metafeatures", err)
+	}
+	feats := make([]metafeat.ClientFeatures, len(resps))
+	for i, r := range resps {
+		feats[i] = decodeClientFeatures(r)
+	}
+	return metafeat.Aggregate(feats), nil
+}
+
+// selectFeatures runs the federated feature-selection round.
+func (e *Engine) selectFeatures(srv *fl.Server, eng *features.Engineer) ([]int, error) {
+	req := fl.NewMessage(kindImportances)
+	encodeEngineer(&req, eng)
+	resps, err := srv.Broadcast(req)
+	if err != nil {
+		return nil, roundTripError("importances", err)
+	}
+	var perClient [][]float64
+	for _, r := range resps {
+		if imp := r.Floats["importances"]; len(imp) > 0 {
+			perClient = append(perClient, imp)
+		}
+	}
+	return features.SelectFeatures(perClient, features.ImportanceThreshold), nil
+}
+
+// globalLoss evaluates cfg on the validation phase.
+func (e *Engine) globalLoss(srv *fl.Server, eng *features.Engineer, cfg search.Config, phase string) (float64, error) {
+	kind := kindEvalConfig
+	if phase == "test" {
+		kind = kindFitFinal
+	}
+	return e.globalLossKind(srv, eng, cfg, kind)
+}
+
+func (e *Engine) globalLossKind(srv *fl.Server, eng *features.Engineer, cfg search.Config, kind string) (float64, error) {
+	req := fl.NewMessage(kind)
+	encodeEngineer(&req, eng)
+	encodeConfig(&req, cfg)
+	encodeSplits(&req, e.Cfg.Splits)
+	resps, err := srv.Broadcast(req)
+	if err != nil {
+		return 0, roundTripError(kind, err)
+	}
+	var losses, sizes []float64
+	for _, r := range resps {
+		if r.Scalars["skipped"] == 1 {
+			continue
+		}
+		losses = append(losses, r.Scalars["loss"])
+		sizes = append(sizes, r.Scalars["size"])
+	}
+	return fl.WeightedLoss(losses, sizes)
+}

@@ -1,0 +1,193 @@
+// Package core implements FedForecaster itself (Algorithm 1): the
+// federated protocol between the central server and the clients —
+// meta-feature aggregation, meta-learning based algorithm
+// recommendation, unified feature engineering with federated feature
+// selection, Bayesian-optimization hyper-parameter tuning against the
+// aggregated global loss, and final per-client fitting — plus the
+// paper's baselines (federated random search, federated N-BEATS, and
+// consolidated N-BEATS).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"fedforecaster/internal/features"
+	"fedforecaster/internal/fl"
+	"fedforecaster/internal/metafeat"
+	"fedforecaster/internal/pipeline"
+	"fedforecaster/internal/search"
+	"fedforecaster/internal/timeseries"
+	"fedforecaster/internal/tsa"
+)
+
+// Message kinds of the FedForecaster protocol.
+const (
+	kindRange        = "props/range"        // → client min/max for histogram alignment
+	kindMetaFeatures = "props/metafeatures" // → client meta-feature fingerprint
+	kindImportances  = "props/importances"  // → client RF feature importances
+	kindEvalConfig   = "eval/config"        // → client validation loss for a config
+	kindFitFinal     = "fit/final"          // → client test loss of the final config
+)
+
+// encodeConfig serializes a search.Config into a message. Numeric
+// hyper-parameters get the "v:" key prefix, categorical ones "c:".
+func encodeConfig(msg *fl.Message, cfg search.Config) {
+	msg.Strings["algorithm"] = cfg.Algorithm
+	for k, v := range cfg.Values {
+		msg.Floats["v:"+k] = []float64{v}
+	}
+	for k, v := range cfg.Cats {
+		msg.Strings["c:"+k] = v
+	}
+}
+
+// decodeConfig reverses encodeConfig.
+func decodeConfig(msg fl.Message) search.Config {
+	cfg := search.Config{
+		Algorithm: msg.Strings["algorithm"],
+		Values:    map[string]float64{},
+		Cats:      map[string]string{},
+	}
+	for k, v := range msg.Floats {
+		if strings.HasPrefix(k, "v:") && len(v) == 1 {
+			cfg.Values[k[2:]] = v[0]
+		}
+	}
+	for k, v := range msg.Strings {
+		if strings.HasPrefix(k, "c:") {
+			cfg.Cats[k[2:]] = v
+		}
+	}
+	return cfg
+}
+
+// encodeEngineer serializes the shared feature-engineering schema.
+func encodeEngineer(msg *fl.Message, eng *features.Engineer) {
+	msg.Ints["lags"] = append([]int(nil), eng.Lags...)
+	var periods []int
+	var strengths []float64
+	for _, sc := range eng.Seasonal {
+		periods = append(periods, sc.Period)
+		strengths = append(strengths, sc.Strength)
+	}
+	msg.Ints["season_periods"] = periods
+	msg.Floats["season_strengths"] = strengths
+	flags := 0
+	if eng.UseTrend {
+		flags |= 1
+	}
+	if eng.UseTime {
+		flags |= 2
+	}
+	msg.Ints["flags"] = []int{flags}
+	if len(eng.ExogNames) > 0 {
+		msg.Strings["exog"] = strings.Join(eng.ExogNames, ",")
+	}
+	if eng.Keep != nil {
+		msg.Ints["keep"] = append([]int(nil), eng.Keep...)
+	}
+}
+
+// decodeEngineer reverses encodeEngineer.
+func decodeEngineer(msg fl.Message) *features.Engineer {
+	e := &features.Engineer{Lags: append([]int(nil), msg.Ints["lags"]...)}
+	periods := msg.Ints["season_periods"]
+	strengths := msg.Floats["season_strengths"]
+	for i, p := range periods {
+		s := 0.0
+		if i < len(strengths) {
+			s = strengths[i]
+		}
+		e.Seasonal = append(e.Seasonal, tsa.SeasonalComponent{Period: p, Strength: s})
+	}
+	if f := msg.Ints["flags"]; len(f) == 1 {
+		e.UseTrend = f[0]&1 != 0
+		e.UseTime = f[0]&2 != 0
+	}
+	if ex := msg.Strings["exog"]; ex != "" {
+		e.ExogNames = strings.Split(ex, ",")
+	}
+	if k, ok := msg.Ints["keep"]; ok {
+		e.Keep = append([]int(nil), k...)
+	}
+	return e
+}
+
+// encodeSplits/decodeSplits carry the chronological split fractions.
+func encodeSplits(msg *fl.Message, s pipeline.Splits) {
+	msg.Scalars["valid_frac"] = s.ValidFrac
+	msg.Scalars["test_frac"] = s.TestFrac
+}
+
+func decodeSplits(msg fl.Message) pipeline.Splits {
+	return pipeline.Splits{
+		ValidFrac: msg.Scalars["valid_frac"],
+		TestFrac:  msg.Scalars["test_frac"],
+	}
+}
+
+// encodeClientFeatures serializes a metafeat.ClientFeatures
+// fingerprint (scalar statistics only — the privacy boundary).
+func encodeClientFeatures(msg *fl.Message, cf metafeat.ClientFeatures) {
+	msg.Scalars["num_instances"] = cf.NumInstances
+	msg.Scalars["missing_pct"] = cf.MissingPct
+	msg.Scalars["stationary"] = cf.Stationary
+	msg.Scalars["stationary_d1"] = cf.StationaryDiff1
+	msg.Scalars["stationary_d2"] = cf.StationaryDiff2
+	msg.Scalars["siglag_count"] = cf.SigLagCount
+	msg.Scalars["insiggap_count"] = cf.InsigGapCount
+	msg.Scalars["seasonal_count"] = cf.SeasonalCount
+	msg.Scalars["skewness"] = cf.Skewness
+	msg.Scalars["kurtosis"] = cf.Kurtosis
+	msg.Scalars["fractal"] = cf.FractalDim
+	msg.Scalars["rate"] = float64(cf.Rate)
+	msg.Scalars["hist_lo"] = cf.HistLo
+	msg.Scalars["hist_hi"] = cf.HistHi
+	msg.Ints["sig_lags"] = append([]int(nil), cf.SigLags...)
+	var periods []int
+	var strengths []float64
+	for _, sc := range cf.Seasonal {
+		periods = append(periods, sc.Period)
+		strengths = append(strengths, sc.Strength)
+	}
+	msg.Ints["season_periods"] = periods
+	msg.Floats["season_strengths"] = strengths
+	msg.Floats["histogram"] = append([]float64(nil), cf.Histogram...)
+}
+
+// decodeClientFeatures reverses encodeClientFeatures.
+func decodeClientFeatures(msg fl.Message) metafeat.ClientFeatures {
+	cf := metafeat.ClientFeatures{
+		NumInstances:    msg.Scalars["num_instances"],
+		MissingPct:      msg.Scalars["missing_pct"],
+		Stationary:      msg.Scalars["stationary"],
+		StationaryDiff1: msg.Scalars["stationary_d1"],
+		StationaryDiff2: msg.Scalars["stationary_d2"],
+		SigLagCount:     msg.Scalars["siglag_count"],
+		InsigGapCount:   msg.Scalars["insiggap_count"],
+		SeasonalCount:   msg.Scalars["seasonal_count"],
+		Skewness:        msg.Scalars["skewness"],
+		Kurtosis:        msg.Scalars["kurtosis"],
+		FractalDim:      msg.Scalars["fractal"],
+		Rate:            timeseries.SamplingRate(int(msg.Scalars["rate"])),
+		HistLo:          msg.Scalars["hist_lo"],
+		HistHi:          msg.Scalars["hist_hi"],
+	}
+	cf.SigLags = append([]int(nil), msg.Ints["sig_lags"]...)
+	strengths := msg.Floats["season_strengths"]
+	for i, p := range msg.Ints["season_periods"] {
+		s := 0.0
+		if i < len(strengths) {
+			s = strengths[i]
+		}
+		cf.Seasonal = append(cf.Seasonal, tsa.SeasonalComponent{Period: p, Strength: s})
+	}
+	cf.Histogram = append([]float64(nil), msg.Floats["histogram"]...)
+	return cf
+}
+
+// roundTripError annotates protocol decode failures with their phase.
+func roundTripError(phase string, err error) error {
+	return fmt.Errorf("core: %s round: %w", phase, err)
+}

@@ -1,0 +1,61 @@
+package ensemble
+
+import (
+	"testing"
+)
+
+func BenchmarkRandomForestFit(b *testing.B) {
+	x, y := friedman1(500, 0.5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := NewRandomForestRegressor(ForestOptions{NumTrees: 30, MaxDepth: 8, Seed: int64(i)})
+		if err := f.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXGBFit(b *testing.B) {
+	x, y := friedman1(500, 0.5, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewXGBRegressor(XGBOptions{NumTrees: 20, MaxDepth: 4, Seed: int64(i)})
+		if err := m.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLGBMClassifierFit(b *testing.B) {
+	x, y := threeClassData(500, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewLGBMClassifier(LGBMOptions{NumTrees: 15, NumLeaves: 15, Seed: int64(i)})
+		if err := m.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCatBoostClassifierFit(b *testing.B) {
+	x, y := threeClassData(500, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewCatBoostClassifier(CatBoostOptions{NumTrees: 15, Depth: 4, Seed: int64(i)})
+		if err := m.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestPredict(b *testing.B) {
+	x, y := friedman1(500, 0.5, 5)
+	f := NewRandomForestRegressor(ForestOptions{NumTrees: 50, MaxDepth: 8, Seed: 6})
+	if err := f.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Predict(x[:100])
+	}
+}

@@ -1,0 +1,365 @@
+package ensemble
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedforecaster/internal/model"
+)
+
+// friedman1 is the classic nonlinear regression benchmark surface.
+func friedman1(n int, noise float64, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, 5)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		x[i] = row
+		y[i] = 10*math.Sin(math.Pi*row[0]*row[1]) + 20*(row[2]-0.5)*(row[2]-0.5) +
+			10*row[3] + 5*row[4] + noise*rng.NormFloat64()
+	}
+	return x, y
+}
+
+// threeClassData produces 3 Gaussian blobs separable on two features.
+func threeClassData(n int, seed int64) ([][]float64, []string) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][2]float64{{0, 0}, {4, 0}, {2, 4}}
+	labels := []string{"red", "green", "blue"}
+	x := make([][]float64, n)
+	y := make([]string, n)
+	for i := range x {
+		c := i % 3
+		x[i] = []float64{
+			centers[c][0] + rng.NormFloat64()*0.6,
+			centers[c][1] + rng.NormFloat64()*0.6,
+			rng.NormFloat64(), // distractor
+		}
+		y[i] = labels[c]
+	}
+	return x, y
+}
+
+func accuracy(pred, truth []string) float64 {
+	correct := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+func TestRandomForestRegressorFriedman(t *testing.T) {
+	x, y := friedman1(600, 0.5, 1)
+	f := NewRandomForestRegressor(ForestOptions{NumTrees: 50, MaxDepth: 10, Seed: 1})
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := friedman1(200, 0, 2)
+	mse := model.MSE(f.Predict(xt), yt)
+	// Baseline: variance of the target is ≈ 24; forest must do far better.
+	if mse > 8 {
+		t.Errorf("forest test MSE = %v, want < 8", mse)
+	}
+}
+
+func TestRandomForestRegressorImportances(t *testing.T) {
+	x, y := friedman1(500, 0.1, 3)
+	f := NewRandomForestRegressor(ForestOptions{NumTrees: 40, MaxDepth: 8, Seed: 2})
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := f.FeatureImportances()
+	var sum float64
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatalf("negative importance %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("importances sum to %v", sum)
+	}
+	// x3 (coef 10) matters more than x4 (coef 5).
+	if imp[3] < imp[4] {
+		t.Errorf("importance ordering wrong: %v", imp)
+	}
+}
+
+func TestRandomForestClassifier(t *testing.T) {
+	x, y := threeClassData(600, 4)
+	f := NewRandomForestClassifier(ForestOptions{NumTrees: 40, MaxDepth: 8, Seed: 3})
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := threeClassData(300, 5)
+	if acc := accuracy(f.Predict(xt), yt); acc < 0.95 {
+		t.Errorf("forest accuracy = %v", acc)
+	}
+	for _, dist := range f.PredictProba(xt[:5]) {
+		var s float64
+		for _, p := range dist {
+			s += p
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v", s)
+		}
+	}
+}
+
+func TestExtraTreesClassifier(t *testing.T) {
+	x, y := threeClassData(600, 6)
+	f := NewExtraTreesClassifier(ForestOptions{NumTrees: 40, MaxDepth: 10, Seed: 4})
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := threeClassData(300, 7)
+	if acc := accuracy(f.Predict(xt), yt); acc < 0.92 {
+		t.Errorf("extra trees accuracy = %v", acc)
+	}
+}
+
+func TestGradientBoostingRegressor(t *testing.T) {
+	x, y := friedman1(600, 0.5, 8)
+	g := NewGradientBoostingRegressor(GBMOptions{NumTrees: 80, MaxDepth: 3, LearningRate: 0.1, Seed: 5})
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := friedman1(200, 0, 9)
+	if mse := model.MSE(g.Predict(xt), yt); mse > 6 {
+		t.Errorf("GBM test MSE = %v", mse)
+	}
+}
+
+func TestGradientBoostingMoreTreesHelp(t *testing.T) {
+	x, y := friedman1(400, 0.5, 10)
+	xt, yt := friedman1(200, 0, 11)
+	few := NewGradientBoostingRegressor(GBMOptions{NumTrees: 5, MaxDepth: 3, Seed: 6})
+	many := NewGradientBoostingRegressor(GBMOptions{NumTrees: 100, MaxDepth: 3, Seed: 6})
+	if err := few.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := many.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	mseFew := model.MSE(few.Predict(xt), yt)
+	mseMany := model.MSE(many.Predict(xt), yt)
+	if mseMany >= mseFew {
+		t.Errorf("100 trees (%v) not better than 5 trees (%v)", mseMany, mseFew)
+	}
+}
+
+func TestGradientBoostingClassifier(t *testing.T) {
+	x, y := threeClassData(600, 12)
+	g := NewGradientBoostingClassifier(GBMOptions{NumTrees: 30, MaxDepth: 3, LearningRate: 0.2, Seed: 7})
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := threeClassData(300, 13)
+	if acc := accuracy(g.Predict(xt), yt); acc < 0.93 {
+		t.Errorf("GBC accuracy = %v", acc)
+	}
+	for _, dist := range g.PredictProba(xt[:3]) {
+		var s float64
+		for _, p := range dist {
+			s += p
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v", s)
+		}
+	}
+}
+
+func TestXGBRegressorFriedman(t *testing.T) {
+	x, y := friedman1(600, 0.5, 14)
+	m := NewXGBRegressor(XGBOptions{NumTrees: 80, MaxDepth: 4, LearningRate: 0.15, Lambda: 1, Seed: 8})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := friedman1(200, 0, 15)
+	if mse := model.MSE(m.Predict(xt), yt); mse > 6 {
+		t.Errorf("XGB test MSE = %v", mse)
+	}
+}
+
+func TestXGBRegressorSubsample(t *testing.T) {
+	x, y := friedman1(500, 0.5, 16)
+	m := NewXGBRegressor(XGBOptions{NumTrees: 60, MaxDepth: 4, LearningRate: 0.15, Subsample: 0.5, Seed: 9})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := friedman1(200, 0, 17)
+	if mse := model.MSE(m.Predict(xt), yt); mse > 8 {
+		t.Errorf("subsampled XGB test MSE = %v", mse)
+	}
+}
+
+func TestXGBRegressorLambdaRegularizes(t *testing.T) {
+	x, y := friedman1(200, 2.0, 18)
+	// Measure the spread of predictions: heavy lambda shrinks the model
+	// toward the base score.
+	loose := NewXGBRegressor(XGBOptions{NumTrees: 20, MaxDepth: 4, Lambda: 0.0001, Seed: 10})
+	tight := NewXGBRegressor(XGBOptions{NumTrees: 20, MaxDepth: 4, Lambda: 10000, Seed: 10})
+	if err := loose.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := tight.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	spread := func(pred []float64) float64 {
+		lo, hi := pred[0], pred[0]
+		for _, v := range pred {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return hi - lo
+	}
+	if spread(tight.Predict(x)) >= spread(loose.Predict(x)) {
+		t.Error("large reg_lambda did not shrink prediction spread")
+	}
+}
+
+func TestXGBClassifier(t *testing.T) {
+	x, y := threeClassData(600, 19)
+	m := NewXGBClassifier(XGBOptions{NumTrees: 25, MaxDepth: 4, LearningRate: 0.3, Seed: 11})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := threeClassData(300, 20)
+	if acc := accuracy(m.Predict(xt), yt); acc < 0.93 {
+		t.Errorf("XGB classifier accuracy = %v", acc)
+	}
+}
+
+func TestLGBMClassifier(t *testing.T) {
+	x, y := threeClassData(600, 21)
+	m := NewLGBMClassifier(LGBMOptions{NumTrees: 25, NumLeaves: 15, LearningRate: 0.2, Seed: 12})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := threeClassData(300, 22)
+	if acc := accuracy(m.Predict(xt), yt); acc < 0.92 {
+		t.Errorf("LGBM accuracy = %v", acc)
+	}
+	for _, dist := range m.PredictProba(xt[:3]) {
+		var s float64
+		for _, p := range dist {
+			s += p
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v", s)
+		}
+	}
+}
+
+func TestCatBoostClassifier(t *testing.T) {
+	x, y := threeClassData(600, 23)
+	m := NewCatBoostClassifier(CatBoostOptions{NumTrees: 30, Depth: 4, LearningRate: 0.2, Seed: 13})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := threeClassData(300, 24)
+	if acc := accuracy(m.Predict(xt), yt); acc < 0.92 {
+		t.Errorf("CatBoost accuracy = %v", acc)
+	}
+}
+
+func TestBinnerRoundTrip(t *testing.T) {
+	x := [][]float64{{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}, {9}}
+	b := newBinner(x, 4)
+	if got := b.numBins(0); got < 2 || got > 4 {
+		t.Fatalf("numBins = %d", got)
+	}
+	// Monotone: larger values map to equal-or-larger bins.
+	prev := uint8(0)
+	for _, row := range x {
+		bin := b.binValue(0, row[0])
+		if bin < prev {
+			t.Fatalf("binning not monotone")
+		}
+		prev = bin
+	}
+	// Out-of-range values clamp to the end bins.
+	if b.binValue(0, -100) != 0 {
+		t.Error("low outlier not in first bin")
+	}
+	if int(b.binValue(0, 100)) != b.numBins(0)-1 {
+		t.Error("high outlier not in last bin")
+	}
+}
+
+func TestBinnerConstantFeature(t *testing.T) {
+	x := [][]float64{{5}, {5}, {5}}
+	b := newBinner(x, 8)
+	if b.numBins(0) != 1 {
+		t.Errorf("constant feature has %d bins, want 1", b.numBins(0))
+	}
+}
+
+func TestObliviousTreePredictIndexing(t *testing.T) {
+	tr := &obliviousTree{
+		features:   []int{0, 1},
+		thresholds: []float64{0.5, 0.5},
+		leaves:     []float64{10, 20, 30, 40}, // idx = bit0(x0>0.5) | bit1(x1>0.5)<<1
+	}
+	cases := []struct {
+		row  []float64
+		want float64
+	}{
+		{[]float64{0, 0}, 10},
+		{[]float64{1, 0}, 20},
+		{[]float64{0, 1}, 30},
+		{[]float64{1, 1}, 40},
+	}
+	for _, c := range cases {
+		if got := tr.predict(c.row); got != c.want {
+			t.Errorf("predict(%v) = %v, want %v", c.row, got, c.want)
+		}
+	}
+}
+
+func TestEnsembleEmptyFit(t *testing.T) {
+	if err := NewRandomForestRegressor(ForestOptions{}).Fit(nil, nil); err == nil {
+		t.Error("RF regressor accepted empty fit")
+	}
+	if err := NewRandomForestClassifier(ForestOptions{}).Fit(nil, nil); err == nil {
+		t.Error("RF classifier accepted empty fit")
+	}
+	if err := NewXGBRegressor(XGBOptions{}).Fit(nil, nil); err == nil {
+		t.Error("XGB accepted empty fit")
+	}
+	if err := NewLGBMClassifier(LGBMOptions{}).Fit(nil, nil); err == nil {
+		t.Error("LGBM accepted empty fit")
+	}
+	if err := NewCatBoostClassifier(CatBoostOptions{}).Fit(nil, nil); err == nil {
+		t.Error("CatBoost accepted empty fit")
+	}
+}
+
+func TestEnsembleDeterminismWithSeed(t *testing.T) {
+	x, y := friedman1(300, 0.5, 25)
+	a := NewRandomForestRegressor(ForestOptions{NumTrees: 10, MaxDepth: 6, Seed: 99})
+	b := NewRandomForestRegressor(ForestOptions{NumTrees: 10, MaxDepth: 6, Seed: 99})
+	if err := a.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pa := a.Predict(x[:20])
+	pb := b.Predict(x[:20])
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("same-seed forests disagree")
+		}
+	}
+}

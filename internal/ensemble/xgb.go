@@ -1,0 +1,260 @@
+package ensemble
+
+import (
+	"math/rand"
+
+	"fedforecaster/internal/tree"
+)
+
+// XGBOptions mirror the Table 2 XGB Regressor hyper-parameters:
+// n_estimators, max_depth, learning_rate, reg_lambda, and subsample.
+type XGBOptions struct {
+	NumTrees     int     // n_estimators, default 100
+	MaxDepth     int     // default 6
+	LearningRate float64 // default 0.3
+	Lambda       float64 // reg_lambda (L2 on leaf weights), default 1
+	Gamma        float64 // min split gain
+	Subsample    float64 // row subsampling per tree in (0, 1], default 1
+	Seed         int64
+}
+
+func (o XGBOptions) normalized() XGBOptions {
+	if o.NumTrees <= 0 {
+		o.NumTrees = 100
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 6
+	}
+	if o.LearningRate <= 0 {
+		o.LearningRate = 0.3
+	}
+	if o.Lambda < 0 {
+		o.Lambda = 1
+	}
+	if o.Subsample <= 0 || o.Subsample > 1 {
+		o.Subsample = 1
+	}
+	return o
+}
+
+// XGBRegressor is a second-order gradient-boosted tree regressor with
+// squared loss (g = pred − y, h = 1), L2 leaf regularization, and row
+// subsampling — the "XGB Regressor" row of Table 2.
+type XGBRegressor struct {
+	Opts  XGBOptions
+	base  float64
+	trees []*tree.GradTree
+}
+
+// NewXGBRegressor returns a booster with the given options.
+func NewXGBRegressor(opts XGBOptions) *XGBRegressor { return &XGBRegressor{Opts: opts} }
+
+// Fit trains the booster.
+func (m *XGBRegressor) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errEmptyTraining
+	}
+	opts := m.Opts.normalized()
+	n := len(x)
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	m.base = mean / float64(n)
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = m.base
+	}
+	g := make([]float64, n)
+	h := make([]float64, n)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	m.trees = m.trees[:0]
+	for t := 0; t < opts.NumTrees; t++ {
+		for i := 0; i < n; i++ {
+			g[i] = pred[i] - y[i] // d/dpred ½(pred−y)²
+			h[i] = 1
+		}
+		idx := subsampleIndices(n, opts.Subsample, rng)
+		gt := &tree.GradTree{
+			MaxDepth:       opts.MaxDepth,
+			Lambda:         opts.Lambda,
+			Gamma:          opts.Gamma,
+			MinChildWeight: 1,
+			Seed:           opts.Seed + int64(t)*31,
+		}
+		if err := gt.FitGrad(x, g, h, idx); err != nil {
+			return err
+		}
+		m.trees = append(m.trees, gt)
+		for i := 0; i < n; i++ {
+			pred[i] += opts.LearningRate * gt.PredictOne(x[i])
+		}
+	}
+	return nil
+}
+
+// Predict sums the boosted trees.
+func (m *XGBRegressor) Predict(x [][]float64) []float64 {
+	if m.trees == nil {
+		panic("ensemble: XGBRegressor.Predict before Fit")
+	}
+	lr := m.Opts.normalized().LearningRate
+	out := make([]float64, len(x))
+	for i, row := range x {
+		v := m.base
+		for _, gt := range m.trees {
+			v += lr * gt.PredictOne(row)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// FeatureImportances averages gain importances across trees.
+func (m *XGBRegressor) FeatureImportances() []float64 {
+	if len(m.trees) == 0 {
+		return nil
+	}
+	var out []float64
+	for _, gt := range m.trees {
+		imp := gt.FeatureImportances()
+		if out == nil {
+			out = make([]float64, len(imp))
+		}
+		for j, v := range imp {
+			out[j] += v
+		}
+	}
+	for j := range out {
+		out[j] /= float64(len(m.trees))
+	}
+	return out
+}
+
+// XGBClassifier boosts one GradTree sequence per class against the
+// softmax cross-entropy's exact gradients and hessians
+// (g = p − 1{y=c}, h = p(1−p)).
+type XGBClassifier struct {
+	Opts  XGBOptions
+	enc   *labelEncoder
+	trees [][]*tree.GradTree // [stage][class]
+}
+
+// NewXGBClassifier returns a booster with the given options.
+func NewXGBClassifier(opts XGBOptions) *XGBClassifier { return &XGBClassifier{Opts: opts} }
+
+// Fit trains the booster on string labels.
+func (m *XGBClassifier) Fit(x [][]float64, y []string) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errEmptyTraining
+	}
+	opts := m.Opts.normalized()
+	m.enc = newLabelEncoder(y)
+	yi := m.enc.encode(y)
+	n, k := len(x), m.enc.numClasses()
+
+	scores := make([][]float64, n)
+	for i := range scores {
+		scores[i] = make([]float64, k)
+	}
+	g := make([]float64, n)
+	h := make([]float64, n)
+	probs := make([]float64, k)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	m.trees = m.trees[:0]
+	for t := 0; t < opts.NumTrees; t++ {
+		stage := make([]*tree.GradTree, k)
+		for c := 0; c < k; c++ {
+			for i := 0; i < n; i++ {
+				softmaxInto(scores[i], probs)
+				p := probs[c]
+				target := 0.0
+				if yi[i] == c {
+					target = 1
+				}
+				g[i] = p - target
+				h[i] = p * (1 - p)
+				if h[i] < 1e-6 {
+					h[i] = 1e-6
+				}
+			}
+			idx := subsampleIndices(n, opts.Subsample, rng)
+			gt := &tree.GradTree{
+				MaxDepth:       opts.MaxDepth,
+				Lambda:         opts.Lambda,
+				Gamma:          opts.Gamma,
+				MinChildWeight: 0.1,
+				Seed:           opts.Seed + int64(t*31+c),
+			}
+			if err := gt.FitGrad(x, g, h, idx); err != nil {
+				return err
+			}
+			stage[c] = gt
+		}
+		for i := 0; i < n; i++ {
+			for c := 0; c < k; c++ {
+				scores[i][c] += opts.LearningRate * stage[c].PredictOne(x[i])
+			}
+		}
+		m.trees = append(m.trees, stage)
+	}
+	return nil
+}
+
+func (m *XGBClassifier) scoresFor(row []float64) []float64 {
+	lr := m.Opts.normalized().LearningRate
+	s := make([]float64, m.enc.numClasses())
+	for _, stage := range m.trees {
+		for c, gt := range stage {
+			s[c] += lr * gt.PredictOne(row)
+		}
+	}
+	return s
+}
+
+// Predict returns the most likely label per row.
+func (m *XGBClassifier) Predict(x [][]float64) []string {
+	if m.trees == nil {
+		panic("ensemble: XGBClassifier.Predict before Fit")
+	}
+	out := make([]string, len(x))
+	for i, row := range x {
+		out[i] = m.enc.labels[argmax(m.scoresFor(row))]
+	}
+	return out
+}
+
+// PredictProba returns per-row label probabilities.
+func (m *XGBClassifier) PredictProba(x [][]float64) []map[string]float64 {
+	if m.trees == nil {
+		panic("ensemble: XGBClassifier.Predict before Fit")
+	}
+	out := make([]map[string]float64, len(x))
+	probs := make([]float64, m.enc.numClasses())
+	for i, row := range x {
+		softmaxInto(m.scoresFor(row), probs)
+		out[i] = m.enc.distToMap(probs)
+	}
+	return out
+}
+
+// subsampleIndices draws ⌈frac·n⌉ distinct row indices (all rows when
+// frac == 1).
+func subsampleIndices(n int, frac float64, rng *rand.Rand) []int {
+	if frac >= 1 {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	m := int(frac*float64(n) + 0.5)
+	if m < 2 {
+		m = 2
+	}
+	if m > n {
+		m = n
+	}
+	perm := rng.Perm(n)
+	return perm[:m]
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"fedforecaster/internal/classical"
+	"fedforecaster/internal/core"
+	"fedforecaster/internal/pipeline"
+	"fedforecaster/internal/synth"
+	"fedforecaster/internal/tsa"
+)
+
+// ClassicalRow compares FedForecaster (privacy-preserving, federated)
+// against centrally trained classical forecasters (which require the
+// consolidated series the paper's Section 2 argues is unavailable in
+// FL settings) on one dataset.
+type ClassicalRow struct {
+	Dataset       string
+	FedForecaster float64
+	HoltWinters   float64
+	ARIMA         float64
+}
+
+// ClassicalReport is the extension comparison against the related
+// work's centralized classical baselines.
+type ClassicalReport struct {
+	Rows []ClassicalRow
+}
+
+// RunClassicalComparison evaluates the consolidated-series datasets
+// (ETFs excluded, as in Table 3's "Cons." column) at the given scale:
+// FedForecaster runs federated; Holt-Winters and AR(p,d) get the
+// centralized series — an upper-bound comparison the federation cannot
+// use in practice.
+func RunClassicalComparison(scale float64, iterations int, seed int64, datasets []string) (*ClassicalReport, error) {
+	report := &ClassicalReport{}
+	splits := pipeline.Splits{ValidFrac: 0.15, TestFrac: 0.15}
+	for _, d := range synth.EvalDatasets() {
+		if d.MultiSerie {
+			continue
+		}
+		if len(datasets) > 0 && !contains(datasets, d.Name) {
+			continue
+		}
+		gen := d.Scaled(scale)
+		gen.Seed = d.Seed + seed*31
+		clients, full, err := gen.Generate()
+		if err != nil {
+			return nil, err
+		}
+		row := ClassicalRow{Dataset: d.Name, HoltWinters: math.NaN(), ARIMA: math.NaN()}
+
+		ff, err := core.RunFedForecaster(clients, nil, iterations, splits, seed)
+		if err != nil {
+			return nil, err
+		}
+		row.FedForecaster = ff.TestMSE
+
+		// Centralized classical baselines on the consolidated series.
+		vals := full.Interpolate().Values
+		_, validEnd := splits.Bounds(len(vals))
+		season := 0
+		if comps := tsa.DetectSeasonalities(vals[:validEnd], 1); len(comps) > 0 {
+			season = comps[0].Period
+		}
+		if hw, err := classical.FitHoltWintersGrid(vals[:validEnd], season, 0.2); err == nil {
+			if mse, err := hw.EvaluateOneStep(vals[validEnd:]); err == nil {
+				row.HoltWinters = mse
+			}
+		}
+		if ar, err := classical.SelectAR(vals[:validEnd], 5, 1); err == nil {
+			if mse, err := ar.EvaluateOneStep(vals[validEnd:]); err == nil {
+				row.ARIMA = mse
+			}
+		}
+		report.Rows = append(report.Rows, row)
+	}
+	return report, nil
+}
+
+// Format renders the comparison.
+func (r *ClassicalReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-38s %14s %14s %14s\n", "Dataset", "FedForecaster", "HoltWinters*", "AR/ARI*")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-38s %14.5g %14s %14s\n",
+			row.Dataset, row.FedForecaster, naDash(row.HoltWinters), naDash(row.ARIMA))
+	}
+	b.WriteString("* centralized: these baselines require the consolidated series, which FL forbids\n")
+	return b.String()
+}

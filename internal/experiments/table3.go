@@ -1,0 +1,307 @@
+// Package experiments contains the reproduction harnesses for the
+// paper's evaluation section: Table 3 (FedForecaster vs random search
+// vs federated/consolidated N-BEATS on the 12 datasets, with average
+// ranks and Wilcoxon signed-rank validation), Table 4 (the meta-model
+// classifier comparison by MRR@3/F1), the client-count and time-budget
+// sweeps the paper points to in its repository, and the ablations
+// called out in DESIGN.md. All harnesses accept a scale factor so the
+// same code drives both quick benchmarks and full runs.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"fedforecaster/internal/core"
+	"fedforecaster/internal/metalearn"
+	"fedforecaster/internal/nbeats"
+	"fedforecaster/internal/pipeline"
+	"fedforecaster/internal/stats"
+	"fedforecaster/internal/synth"
+)
+
+// Table3Config controls the main-result reproduction.
+type Table3Config struct {
+	// Scale shrinks every dataset's length (1.0 = paper scale). The
+	// default 0.05 keeps a full 12-dataset × 3-method × Seeds run in
+	// benchmark territory.
+	Scale float64
+	// Iterations is the per-method optimization budget (the stand-in
+	// for the paper's 5-minute wall clock).
+	Iterations int
+	// TimeBudget, when positive, switches to the paper's budget
+	// semantics: each method gets the same wall-clock budget per
+	// dataset (Iterations then only caps the round count). Under a
+	// wall-clock budget FedForecaster's restriction to recommended
+	// (often cheaper) algorithms buys it extra evaluations, exactly
+	// the advantage the paper's 5-minute setup measures.
+	TimeBudget time.Duration
+	// Seeds is the number of repetitions averaged (paper: 3).
+	Seeds int
+	// Meta optionally supplies the trained meta-model; nil runs
+	// FedForecaster cold-start.
+	Meta *metalearn.MetaModel
+	// Datasets restricts the run to the named Table 3 datasets (nil =
+	// all 12).
+	Datasets []string
+	// SkipNBeats skips the neural baselines (for fast smoke runs).
+	SkipNBeats bool
+	// Progress receives one line per completed cell when non-nil.
+	Progress func(string)
+	Seed     int64
+}
+
+func (c Table3Config) normalized() Table3Config {
+	if c.Scale <= 0 || c.Scale > 1 {
+		c.Scale = 0.05
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 8
+	}
+	if c.Seeds <= 0 {
+		c.Seeds = 3
+	}
+	return c
+}
+
+// Table3Row is one dataset's results.
+type Table3Row struct {
+	Dataset       string
+	Len           int
+	Clients       int
+	NBeatsCons    float64 // NaN when not applicable (ETFs) or skipped
+	FedForecaster float64
+	RandomSearch  float64
+	NBeats        float64 // NaN when skipped
+	BestModel     string  // algorithm FedForecaster selected
+}
+
+// Table3Report is the full reproduction of Table 3 plus the Section
+// 5.2 statistics.
+type Table3Report struct {
+	Rows []Table3Row
+	// AvgRank of FedForecaster / RandomSearch / NBeats over datasets
+	// where all three produced results (paper: 1.17 / 2.17 / 2.67).
+	AvgRank [3]float64
+	// Wilcoxon signed-rank p-values: FedForecaster vs RandomSearch and
+	// vs NBeats (paper: 0.034 and 0.003).
+	PvsRandom float64
+	PvsNBeats float64
+}
+
+// RunTable3 reproduces Table 3 at the configured scale.
+func RunTable3(cfg Table3Config) (*Table3Report, error) {
+	cfg = cfg.normalized()
+	report := &Table3Report{}
+	splits := pipeline.Splits{ValidFrac: 0.15, TestFrac: 0.15}
+	for _, d := range synth.EvalDatasets() {
+		if len(cfg.Datasets) > 0 && !contains(cfg.Datasets, d.Name) {
+			continue
+		}
+		scaled := d.Scaled(cfg.Scale)
+		row := Table3Row{Dataset: d.Name, Len: scaled.Length, Clients: scaled.Clients,
+			NBeatsCons: math.NaN(), NBeats: math.NaN()}
+
+		var ffSum, rsSum, nbSum, ncSum float64
+		var nbOK, ncOK int
+		bestModels := map[string]int{}
+		for rep := 0; rep < cfg.Seeds; rep++ {
+			seed := cfg.Seed + int64(rep)*1009
+			gen := scaled
+			gen.Seed = scaled.Seed + int64(rep)*13
+			clients, full, err := gen.Generate()
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
+			}
+
+			iters := cfg.Iterations
+			if cfg.TimeBudget > 0 {
+				iters = 1 << 20 // wall clock terminates the loop
+			}
+			ffCfg := core.DefaultEngineConfig()
+			ffCfg.Iterations = iters
+			ffCfg.TimeBudget = cfg.TimeBudget
+			ffCfg.Splits = splits
+			ffCfg.Seed = seed
+			ff, err := core.NewEngine(cfg.Meta, ffCfg).Run(clients)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s fedforecaster: %w", d.Name, err)
+			}
+			ffSum += ff.TestMSE
+			bestModels[ff.BestConfig.Algorithm]++
+
+			rs, err := core.RunRandomSearch(clients, core.RandomSearchConfig{
+				Iterations: iters, TimeBudget: cfg.TimeBudget, Splits: splits, Seed: seed + 1,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s random search: %w", d.Name, err)
+			}
+			rsSum += rs.TestMSE
+
+			if !cfg.SkipNBeats {
+				nbCfg := scaledNBeatsConfig(seed + 2)
+				if mse, err := core.RunNBeatsFederated(clients, nbCfg); err == nil && !math.IsNaN(mse) {
+					nbSum += mse
+					nbOK++
+				}
+				if full != nil {
+					if mse, err := core.RunNBeatsConsolidated(full, nbCfg); err == nil && !math.IsNaN(mse) {
+						ncSum += mse
+						ncOK++
+					}
+				}
+			}
+		}
+		row.FedForecaster = ffSum / float64(cfg.Seeds)
+		row.RandomSearch = rsSum / float64(cfg.Seeds)
+		if nbOK > 0 {
+			row.NBeats = nbSum / float64(nbOK)
+		}
+		if ncOK > 0 {
+			row.NBeatsCons = ncSum / float64(ncOK)
+		}
+		row.BestModel = argmaxCount(bestModels)
+		report.Rows = append(report.Rows, row)
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("%-38s FF=%.4g RS=%.4g NB=%.4g", row.Dataset,
+				row.FedForecaster, row.RandomSearch, row.NBeats))
+		}
+	}
+	report.computeStats()
+	return report, nil
+}
+
+// computeStats fills average ranks and Wilcoxon p-values; statistics
+// that lack data (e.g. N-BEATS skipped) are NaN and render as "-".
+func (r *Table3Report) computeStats() {
+	r.PvsRandom, r.PvsNBeats = math.NaN(), math.NaN()
+	for i := range r.AvgRank {
+		r.AvgRank[i] = math.NaN()
+	}
+	var ranksSum [3]float64
+	var ranked int
+	var ff, rs, nb []float64
+	for _, row := range r.Rows {
+		ff = append(ff, row.FedForecaster)
+		rs = append(rs, row.RandomSearch)
+		if !math.IsNaN(row.NBeats) {
+			nb = append(nb, row.NBeats)
+			ranks := stats.Ranks([]float64{row.FedForecaster, row.RandomSearch, row.NBeats})
+			for i := range ranks {
+				ranksSum[i] += ranks[i]
+			}
+			ranked++
+		}
+	}
+	if ranked > 0 {
+		for i := range ranksSum {
+			r.AvgRank[i] = ranksSum[i] / float64(ranked)
+		}
+	}
+	if len(ff) > 1 {
+		r.PvsRandom = stats.WilcoxonSignedRank(ff, rs).PValue
+	}
+	if len(nb) > 1 {
+		// Pair FedForecaster with N-BEATS over the rows where N-BEATS ran.
+		var ffPaired []float64
+		for _, row := range r.Rows {
+			if !math.IsNaN(row.NBeats) {
+				ffPaired = append(ffPaired, row.FedForecaster)
+			}
+		}
+		r.PvsNBeats = stats.WilcoxonSignedRank(ffPaired, nb).PValue
+	}
+}
+
+// Format renders the report in the layout of the paper's Table 3.
+func (r *Table3Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-38s %7s %8s %13s %13s %13s %13s  %s\n",
+		"Dataset", "Len.", "Clients", "N-Beats Cons.", "FedForecaster", "Random Search", "N-Beats", "Best Model")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-38s %7d %8d %13s %13.5g %13.5g %13s  %s\n",
+			row.Dataset, row.Len, row.Clients,
+			naDash(row.NBeatsCons), row.FedForecaster, row.RandomSearch, naDash(row.NBeats), row.BestModel)
+	}
+	fmt.Fprintf(&b, "\nOverall rank: FedForecaster %s  RandomSearch %s  N-Beats %s (paper: 1.17 / 2.17 / 2.67)\n",
+		naRank(r.AvgRank[0]), naRank(r.AvgRank[1]), naRank(r.AvgRank[2]))
+	fmt.Fprintf(&b, "Wilcoxon signed-rank: vs RandomSearch p=%s (paper 0.034), vs N-Beats p=%s (paper 0.003)\n",
+		naP(r.PvsRandom), naP(r.PvsNBeats))
+	return b.String()
+}
+
+// Wins counts the datasets where FedForecaster has the strictly lowest
+// MSE among the three federated methods (paper: 10 of 12).
+func (r *Table3Report) Wins() int {
+	wins := 0
+	for _, row := range r.Rows {
+		best := row.FedForecaster <= row.RandomSearch
+		if !math.IsNaN(row.NBeats) {
+			best = best && row.FedForecaster <= row.NBeats
+		}
+		if best {
+			wins++
+		}
+	}
+	return wins
+}
+
+// scaledNBeatsConfig is the paper's N-BEATS baseline shrunk to scale
+// with the reduced datasets (same architecture shape, smaller widths).
+func scaledNBeatsConfig(seed int64) core.NBeatsFedConfig {
+	return core.NBeatsFedConfig{
+		Model: nbeats.Config{
+			BackcastLength: 24, ForecastLength: 1,
+			GenericBlocks: 2, TrendBlocks: 2, SeasonalBlocks: 2,
+			GenericNeurons: 32, TrendNeurons: 16, SeasonalNeurons: 64,
+			PolyDegree: 3, Harmonics: 4,
+			LR: 5e-4 * 10, BatchSize: 64, Epochs: 2,
+		},
+		Rounds:     4,
+		LocalSteps: 10,
+		Splits:     pipeline.Splits{ValidFrac: 0.15, TestFrac: 0.15},
+		Seed:       seed,
+	}
+}
+
+func naRank(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func naP(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+func naDash(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.5g", v)
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func argmaxCount(m map[string]int) string {
+	best, bestC := "", -1
+	for k, c := range m {
+		if c > bestC || (c == bestC && k < best) {
+			best, bestC = k, c
+		}
+	}
+	return best
+}

@@ -1,0 +1,274 @@
+// Package features implements FedForecaster's automated feature
+// engineering (Section 4.2): every client deterministically derives
+// the same feature schema from the globally aggregated meta-features —
+// a Prophet trend component gated by an ADF test, calendar features,
+// lag features at the globally significant pACF lags, and Fourier
+// features at the globally detected seasonal periods — followed by the
+// federated Random-Forest feature selection that keeps the columns
+// covering 95% of aggregated importance.
+package features
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fedforecaster/internal/ensemble"
+	"fedforecaster/internal/metafeat"
+	"fedforecaster/internal/model"
+	"fedforecaster/internal/prophet"
+	"fedforecaster/internal/timeseries"
+	"fedforecaster/internal/tsa"
+)
+
+// ImportanceThreshold is the cumulative feature-importance mass kept
+// by the selection stage (the paper's 95%).
+const ImportanceThreshold = 0.95
+
+// defaultLags is used when the meta-features yielded no significant
+// global lags: short persistence lags are always safe candidates.
+var defaultLags = []int{1, 2, 3}
+
+// Engineer derives supervised datasets from raw series. Two clients
+// constructing an Engineer from the same Aggregated meta-features
+// produce identical schemas — the paper's "unified feature engineering
+// across clients".
+type Engineer struct {
+	Lags     []int
+	Seasonal []tsa.SeasonalComponent
+	UseTrend bool
+	UseTime  bool
+	// ExogNames lists exogenous channels (multivariate extension, the
+	// paper's future-work direction): for each named channel present
+	// in a series' Exog map, the lag-1 value is added as a feature
+	// (lagged so building never looks ahead of the target).
+	ExogNames []string
+	// Keep, when non-nil, restricts Build's output to these column
+	// indices of the full schema (set by feature selection).
+	Keep []int
+}
+
+// NewEngineer builds the shared schema from aggregated meta-features.
+func NewEngineer(agg metafeat.Aggregated) *Engineer {
+	lags := append([]int(nil), agg.GlobalSigLags...)
+	if len(lags) == 0 {
+		lags = append(lags, defaultLags...)
+	}
+	// Lag 1 is the persistence anchor; ensure it is present.
+	hasOne := false
+	for _, l := range lags {
+		if l == 1 {
+			hasOne = true
+			break
+		}
+	}
+	if !hasOne {
+		lags = append([]int{1}, lags...)
+	}
+	return &Engineer{
+		Lags:     lags,
+		Seasonal: append([]tsa.SeasonalComponent(nil), agg.GlobalSeasonal...),
+		UseTrend: true,
+		UseTime:  true,
+	}
+}
+
+// FeatureNames returns the full schema's column names (before Keep).
+func (e *Engineer) FeatureNames() []string {
+	var names []string
+	for _, l := range e.Lags {
+		names = append(names, fmt.Sprintf("lag_%d", l))
+	}
+	if e.UseTrend {
+		names = append(names, "trend")
+	}
+	if e.UseTime {
+		names = append(names, "time_dow", "time_hour", "time_month", "time_index")
+	}
+	for _, sc := range e.Seasonal {
+		names = append(names, fmt.Sprintf("season_sin_%d", sc.Period), fmt.Sprintf("season_cos_%d", sc.Period))
+	}
+	for _, ex := range e.ExogNames {
+		names = append(names, "exog_"+ex)
+	}
+	return names
+}
+
+var errSeriesTooShort = errors.New("features: series shorter than the maximum lag")
+
+// Build constructs the supervised dataset for a series. trainLen caps
+// the portion used to fit the trend model (avoiding look-ahead into
+// validation rows); pass ≤ 0 to use the full series. Row i of the
+// output predicts s.Values[i+maxLag] — the first maxLag observations
+// seed the lag features.
+func (e *Engineer) Build(s *timeseries.Series, trainLen int) (*model.Dataset, error) {
+	filled := s.Interpolate()
+	v := filled.Values
+	maxLag := 0
+	for _, l := range e.Lags {
+		if l > maxLag {
+			maxLag = l
+		}
+	}
+	if len(v) <= maxLag+1 {
+		return nil, errSeriesTooShort
+	}
+	if trainLen <= 0 || trainLen > len(v) {
+		trainLen = len(v)
+	}
+
+	// Trend component: ADF decides linear vs logistic growth (a
+	// stationary series gets a (nearly flat) linear trend; a
+	// non-stationary one a saturating logistic fit captures level
+	// drift without explosive extrapolation).
+	var trendModel *prophet.Model
+	if e.UseTrend {
+		growth := prophet.Linear
+		if trainLen >= 12 && !tsa.IsStationary(v[:trainLen]) {
+			growth = prophet.Logistic
+		}
+		tm, err := prophet.Fit(v[:trainLen], prophet.Config{Growth: growth})
+		if err == nil {
+			trendModel = tm
+		}
+	}
+
+	names := e.FeatureNames()
+	n := len(v) - maxLag
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	hasCalendar := !filled.Start.IsZero() && filled.Rate != timeseries.RateUnknown
+	for i := 0; i < n; i++ {
+		t := i + maxLag // target index
+		row := make([]float64, 0, len(names))
+		for _, l := range e.Lags {
+			row = append(row, v[t-l])
+		}
+		if e.UseTrend {
+			if trendModel != nil {
+				row = append(row, trendModel.TrendAt(t))
+			} else {
+				row = append(row, 0)
+			}
+		}
+		if e.UseTime {
+			var dow, hour, month float64
+			if hasCalendar {
+				ts := filled.TimeAt(t)
+				dow = float64(ts.Weekday())
+				hour = float64(ts.Hour())
+				month = float64(ts.Month())
+			} else {
+				// Positional fallbacks keep the schema identical when
+				// timestamps are unavailable.
+				dow = float64(t % 7)
+				hour = float64(t % 24)
+				month = float64((t / 30) % 12)
+			}
+			row = append(row, dow, hour, month, float64(t)/float64(len(v)))
+		}
+		for _, sc := range e.Seasonal {
+			ang := 2 * math.Pi * float64(t) / float64(sc.Period)
+			row = append(row, math.Sin(ang), math.Cos(ang))
+		}
+		for _, ex := range e.ExogNames {
+			var val float64
+			if ch, ok := filled.Exog[ex]; ok && t-1 >= 0 && t-1 < len(ch) {
+				val = ch[t-1]
+				if math.IsNaN(val) {
+					val = 0
+				}
+			}
+			row = append(row, val)
+		}
+		x[i] = row
+		y[i] = v[t]
+	}
+	ds := &model.Dataset{X: x, Y: y, Names: names}
+	if e.Keep != nil {
+		ds = ds.SelectColumns(e.Keep)
+	}
+	return ds, nil
+}
+
+// MaxLag returns the largest lag of the schema (the number of leading
+// observations consumed before the first supervised row).
+func (e *Engineer) MaxLag() int {
+	maxLag := 0
+	for _, l := range e.Lags {
+		if l > maxLag {
+			maxLag = l
+		}
+	}
+	return maxLag
+}
+
+// ClientImportances fits a Random-Forest regressor on a client's full
+// feature schema and returns its normalized feature importances —
+// the client half of the feature-selection round.
+func ClientImportances(ds *model.Dataset, seed int64) ([]float64, error) {
+	rf := ensemble.NewRandomForestRegressor(ensemble.ForestOptions{
+		NumTrees: 30,
+		MaxDepth: 8,
+		Seed:     seed,
+	})
+	if err := rf.Fit(ds.X, ds.Y); err != nil {
+		return nil, err
+	}
+	return rf.FeatureImportances(), nil
+}
+
+// SelectFeatures averages per-client importances on the server and
+// returns the column indices (ascending) whose cumulative importance
+// reaches the threshold — the server half of feature selection.
+func SelectFeatures(perClient [][]float64, threshold float64) []int {
+	if len(perClient) == 0 {
+		return nil
+	}
+	p := len(perClient[0])
+	avg := make([]float64, p)
+	for _, imp := range perClient {
+		for j, v := range imp {
+			avg[j] += v
+		}
+	}
+	var total float64
+	for j := range avg {
+		avg[j] /= float64(len(perClient))
+		total += avg[j]
+	}
+	if total <= 0 {
+		// Degenerate importances: keep everything.
+		all := make([]int, p)
+		for j := range all {
+			all[j] = j
+		}
+		return all
+	}
+	// Sort columns by importance descending, take until threshold mass.
+	order := make([]int, p)
+	for j := range order {
+		order[j] = j
+	}
+	for i := 1; i < p; i++ {
+		for j := i; j > 0 && avg[order[j]] > avg[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	var mass float64
+	var kept []int
+	for _, j := range order {
+		kept = append(kept, j)
+		mass += avg[j] / total
+		if mass >= threshold {
+			break
+		}
+	}
+	// Ascending for stable column mapping.
+	for i := 1; i < len(kept); i++ {
+		for j := i; j > 0 && kept[j] < kept[j-1]; j-- {
+			kept[j], kept[j-1] = kept[j-1], kept[j]
+		}
+	}
+	return kept
+}

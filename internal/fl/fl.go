@@ -1,0 +1,212 @@
+// Package fl is the federated-learning substrate of this
+// reproduction — the role the Flower framework plays in the paper. It
+// defines the client contract (properties / fit / evaluate, mirroring
+// Flower's ClientApp surface), a server that drives rounds over any
+// transport, weighted loss aggregation, and FedAvg over flat weight
+// vectors. Two transports are provided: in-process (fast simulation)
+// and TCP with gob encoding (real distributed deployment).
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Message is the unit of client↔server communication: a kind tag plus
+// typed payload maps. It is deliberately schema-free (like Flower's
+// config/metrics dictionaries) so protocol phases can evolve without
+// transport changes.
+type Message struct {
+	Kind    string
+	Scalars map[string]float64
+	Floats  map[string][]float64
+	Strings map[string]string
+	Ints    map[string][]int
+}
+
+// NewMessage returns an empty message of the given kind.
+func NewMessage(kind string) Message {
+	return Message{
+		Kind:    kind,
+		Scalars: map[string]float64{},
+		Floats:  map[string][]float64{},
+		Strings: map[string]string{},
+		Ints:    map[string][]int{},
+	}
+}
+
+// Client is the behaviour a federated participant implements
+// (Algorithm 1's client side).
+type Client interface {
+	// Properties answers metadata queries (meta-features, split sizes).
+	Properties(req Message) (Message, error)
+	// Fit trains locally per the server's instructions and returns
+	// updates and metrics.
+	Fit(req Message) (Message, error)
+	// Evaluate computes local validation metrics for the server's
+	// candidate configuration.
+	Evaluate(req Message) (Message, error)
+}
+
+// Dispatch routes a request to the right Client method by kind
+// convention: "fit/..." → Fit, "eval/..." → Evaluate, everything else
+// → Properties. Both transports share it.
+func Dispatch(c Client, req Message) (Message, error) {
+	switch {
+	case len(req.Kind) >= 4 && req.Kind[:4] == "fit/":
+		return c.Fit(req)
+	case len(req.Kind) >= 5 && req.Kind[:5] == "eval/":
+		return c.Evaluate(req)
+	default:
+		return c.Properties(req)
+	}
+}
+
+// Transport abstracts how the server reaches its clients.
+type Transport interface {
+	// NumClients reports the number of connected clients.
+	NumClients() int
+	// Call sends a request to client i and waits for its response.
+	Call(i int, req Message) (Message, error)
+	// Close releases transport resources.
+	Close() error
+}
+
+// Server drives federated rounds over a transport.
+type Server struct {
+	transport Transport
+}
+
+// NewServer returns a server bound to the transport.
+func NewServer(t Transport) *Server { return &Server{transport: t} }
+
+// NumClients reports the connected client count.
+func (s *Server) NumClients() int { return s.transport.NumClients() }
+
+// Call reaches a single client.
+func (s *Server) Call(i int, req Message) (Message, error) {
+	return s.transport.Call(i, req)
+}
+
+// Broadcast sends the request to every client concurrently and
+// collects responses in client order. The first error aborts the
+// round (federated AutoML needs every client's loss to aggregate).
+func (s *Server) Broadcast(req Message) ([]Message, error) {
+	n := s.transport.NumClients()
+	out := make([]Message, n)
+	errs := make([]error, n)
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			out[i], errs[i] = s.transport.Call(i, req)
+			done <- i
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("fl: client %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Close shuts down the transport.
+func (s *Server) Close() error { return s.transport.Close() }
+
+// SampleClients returns a random subset of client indices of size
+// ⌈fraction·N⌉ (at least 1), drawn without replacement — Flower-style
+// per-round participant sampling for partial participation.
+func (s *Server) SampleClients(fraction float64, rng *rand.Rand) []int {
+	n := s.transport.NumClients()
+	if n == 0 {
+		return nil
+	}
+	k := int(math.Ceil(fraction * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)
+	idx := perm[:k]
+	sort.Ints(idx)
+	return idx
+}
+
+// CallSubset sends the request to the listed clients concurrently and
+// returns their responses in the given order. Like Broadcast, the
+// first error aborts the round.
+func (s *Server) CallSubset(clients []int, req Message) ([]Message, error) {
+	out := make([]Message, len(clients))
+	errs := make([]error, len(clients))
+	done := make(chan struct{}, len(clients))
+	for i, c := range clients {
+		go func(i, c int) {
+			out[i], errs[i] = s.transport.Call(c, req)
+			done <- struct{}{}
+		}(i, c)
+	}
+	for range clients {
+		<-done
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("fl: client %d: %w", clients[i], err)
+		}
+	}
+	return out, nil
+}
+
+// ErrNoClients is returned by aggregation helpers on empty input.
+var ErrNoClients = errors.New("fl: no clients")
+
+// WeightedLoss aggregates client losses with weights proportional to
+// their sample counts — the α_j·L_j sum of Equation 1.
+func WeightedLoss(losses, sizes []float64) (float64, error) {
+	if len(losses) == 0 || len(losses) != len(sizes) {
+		return 0, ErrNoClients
+	}
+	var total, num float64
+	for i, l := range losses {
+		total += sizes[i]
+		num += sizes[i] * l
+	}
+	if total <= 0 {
+		return 0, ErrNoClients
+	}
+	return num / total, nil
+}
+
+// FedAvg computes the size-weighted average of flat client weight
+// vectors (McMahan et al., 2017). All vectors must share one length.
+func FedAvg(weights [][]float64, sizes []float64) ([]float64, error) {
+	if len(weights) == 0 || len(weights) != len(sizes) {
+		return nil, ErrNoClients
+	}
+	dim := len(weights[0])
+	var total float64
+	for i, w := range weights {
+		if len(w) != dim {
+			return nil, fmt.Errorf("fl: weight vector %d has length %d, want %d", i, len(w), dim)
+		}
+		total += sizes[i]
+	}
+	if total <= 0 {
+		return nil, ErrNoClients
+	}
+	avg := make([]float64, dim)
+	for i, w := range weights {
+		f := sizes[i] / total
+		for j, v := range w {
+			avg[j] += f * v
+		}
+	}
+	return avg, nil
+}

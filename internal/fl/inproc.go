@@ -1,0 +1,29 @@
+package fl
+
+import "fmt"
+
+// InProcTransport runs clients in the server's process — the
+// simulation mode used by the evaluation harness (the paper similarly
+// simulates clients as processes on a shared cluster).
+type InProcTransport struct {
+	clients []Client
+}
+
+// NewInProc returns a transport over in-process clients.
+func NewInProc(clients []Client) *InProcTransport {
+	return &InProcTransport{clients: clients}
+}
+
+// NumClients reports the client count.
+func (t *InProcTransport) NumClients() int { return len(t.clients) }
+
+// Call dispatches the request directly to client i.
+func (t *InProcTransport) Call(i int, req Message) (Message, error) {
+	if i < 0 || i >= len(t.clients) {
+		return Message{}, fmt.Errorf("fl: client index %d out of range", i)
+	}
+	return Dispatch(t.clients[i], req)
+}
+
+// Close is a no-op for in-process clients.
+func (t *InProcTransport) Close() error { return nil }

@@ -1,0 +1,143 @@
+package fl
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPTransport is the distributed deployment path: clients dial the
+// server (as in Flower) and serve requests over a gob-encoded stream.
+type TCPTransport struct {
+	listener net.Listener
+	mu       sync.Mutex
+	conns    []*tcpConn
+}
+
+type tcpConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	mu   sync.Mutex
+}
+
+// envelope frames a message with an error string for the return path.
+type envelope struct {
+	Msg Message
+	Err string
+}
+
+// ListenTCP starts a server transport that accepts exactly
+// expectClients connections on addr (use "127.0.0.1:0" for an
+// ephemeral port) within the timeout.
+func ListenTCP(addr string, expectClients int, timeout time.Duration) (*TCPTransport, error) {
+	return ListenTCPWithAddr(addr, expectClients, timeout, nil)
+}
+
+// ListenTCPWithAddr is ListenTCP but reports the bound address on
+// addrCh before blocking for connections — needed when clients in the
+// same process must learn an ephemeral port.
+func ListenTCPWithAddr(addr string, expectClients int, timeout time.Duration, addrCh chan<- string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fl: listen: %w", err)
+	}
+	if addrCh != nil {
+		addrCh <- ln.Addr().String()
+	}
+	t := &TCPTransport{listener: ln}
+	deadline := time.Now().Add(timeout)
+	for len(t.conns) < expectClients {
+		if dl, ok := ln.(*net.TCPListener); ok {
+			if err := dl.SetDeadline(deadline); err != nil {
+				ln.Close()
+				return nil, err
+			}
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("fl: accept (have %d/%d clients): %w", len(t.conns), expectClients, err)
+		}
+		t.conns = append(t.conns, &tcpConn{
+			conn: conn,
+			enc:  gob.NewEncoder(conn),
+			dec:  gob.NewDecoder(conn),
+		})
+	}
+	return t, nil
+}
+
+// Addr returns the listener address (useful with ephemeral ports).
+func (t *TCPTransport) Addr() string { return t.listener.Addr().String() }
+
+// NumClients reports the connected client count.
+func (t *TCPTransport) NumClients() int { return len(t.conns) }
+
+// Call sends the request to client i and waits for its reply. Calls to
+// the same client serialize; calls to distinct clients proceed in
+// parallel.
+func (t *TCPTransport) Call(i int, req Message) (Message, error) {
+	if i < 0 || i >= len(t.conns) {
+		return Message{}, fmt.Errorf("fl: client index %d out of range", i)
+	}
+	c := t.conns[i]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(envelope{Msg: req}); err != nil {
+		return Message{}, fmt.Errorf("fl: send to client %d: %w", i, err)
+	}
+	var resp envelope
+	if err := c.dec.Decode(&resp); err != nil {
+		return Message{}, fmt.Errorf("fl: receive from client %d: %w", i, err)
+	}
+	if resp.Err != "" {
+		return Message{}, fmt.Errorf("fl: client %d error: %s", i, resp.Err)
+	}
+	return resp.Msg, nil
+}
+
+// Close terminates all client connections and the listener.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, c := range t.conns {
+		c.conn.Close()
+	}
+	return t.listener.Close()
+}
+
+// ServeTCP connects a client to the server at addr and serves requests
+// until the connection closes or stop is closed. It returns nil on a
+// clean shutdown (server closed the connection).
+func ServeTCP(addr string, client Client, stop <-chan struct{}) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("fl: dial: %w", err)
+	}
+	defer conn.Close()
+	if stop != nil {
+		go func() {
+			<-stop
+			conn.Close()
+		}()
+	}
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	for {
+		var req envelope
+		if err := dec.Decode(&req); err != nil {
+			return nil // connection closed: clean shutdown
+		}
+		resp, derr := Dispatch(client, req.Msg)
+		env := envelope{Msg: resp}
+		if derr != nil {
+			env.Err = derr.Error()
+		}
+		if err := enc.Encode(env); err != nil {
+			return fmt.Errorf("fl: reply: %w", err)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("dims = %dx%d, want 2x3", m.Rows, m.Cols)
+	}
+	if m.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %v, want 6", m.At(1, 2))
+	}
+	m.Set(0, 0, 9)
+	if m.At(0, 0) != 9 {
+		t.Errorf("Set/At round trip failed")
+	}
+	col := m.Col(1)
+	if col[0] != 2 || col[1] != 5 {
+		t.Errorf("Col(1) = %v, want [2 5]", col)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	tr := m.T()
+	if tr.Rows != 2 || tr.Cols != 3 {
+		t.Fatalf("transpose dims = %dx%d, want 2x3", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul(%d,%d) = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y := a.MulVec([]float64{1, 0, -1})
+	if y[0] != -2 || y[1] != -2 {
+		t.Errorf("MulVec = %v, want [-2 -2]", y)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot on mismatched lengths did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestCholeskySolve(t *testing.T) {
+	// A = Bᵀ·B + I is SPD for any B.
+	rng := rand.New(rand.NewSource(1))
+	n := 8
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := b.T().Mul(b).AddScaledIdentity(1)
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	rhs := a.MulVec(xTrue)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatalf("Cholesky: %v", err)
+	}
+	x := CholeskySolve(l, rhs)
+	for i := range x {
+		if !almostEq(x[i], xTrue[i], 1e-8) {
+			t.Fatalf("solution mismatch at %d: got %v want %v", i, x[i], xTrue[i])
+		}
+	}
+	// L·Lᵀ must reconstruct A.
+	rec := l.Mul(l.T())
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !almostEq(rec.At(i, j), a.At(i, j), 1e-8) {
+				t.Fatalf("reconstruction mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, -1}})
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("Cholesky accepted an indefinite matrix")
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	a := FromRows([][]float64{{0, 2, 1}, {1, -2, -3}, {-1, 1, 2}})
+	x, err := SolveLinear(a, []float64{-8, 0, 3})
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	want := []float64{-4, -5, 2}
+	for i := range want {
+		if !almostEq(x[i], want[i], 1e-10) {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Fatal("SolveLinear accepted a singular system")
+	}
+}
+
+func TestLeastSquaresRecoversCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, p := 200, 4
+	a := NewMatrix(n, p)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	coef := []float64{1.5, -2, 0.5, 3}
+	y := a.MulVec(coef)
+	got, err := LeastSquares(a, y, 0)
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	for i := range coef {
+		if !almostEq(got[i], coef[i], 1e-8) {
+			t.Fatalf("coef = %v, want %v", got, coef)
+		}
+	}
+}
+
+func TestLeastSquaresRidgeShrinks(t *testing.T) {
+	a := FromRows([][]float64{{1}, {1}, {1}})
+	y := []float64{2, 2, 2}
+	noRidge, _ := LeastSquares(a, y, 0)
+	ridge, _ := LeastSquares(a, y, 10)
+	if !(math.Abs(ridge[0]) < math.Abs(noRidge[0])) {
+		t.Fatalf("ridge solution %v not shrunk vs %v", ridge, noRidge)
+	}
+}
+
+// Property: for any vector x, Dot(x, x) == Norm2(x)^2 (within fp error).
+func TestDotNormProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		// Avoid overflow by clamping inputs.
+		for i := range xs {
+			if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) {
+				return true
+			}
+			xs[i] = math.Mod(xs[i], 1e3)
+		}
+		d := Dot(xs, xs)
+		n := Norm2(xs)
+		return almostEq(d, n*n, 1e-6*(1+d))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (Aᵀ)ᵀ == A for random matrices.
+func TestTransposeInvolutionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		r, c := 1+rng.Intn(10), 1+rng.Intn(10)
+		m := NewMatrix(r, c)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		tt := m.T().T()
+		for i := range m.Data {
+			if m.Data[i] != tt.Data[i] {
+				t.Fatalf("transpose involution failed (trial %d)", trial)
+			}
+		}
+	}
+}
+
+func TestAXPYAndScale(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{1, 1, 1}
+	AXPY(2, x, y)
+	want := []float64{3, 5, 7}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("AXPY = %v, want %v", y, want)
+		}
+	}
+	Scale(y, 0.5)
+	if y[0] != 1.5 || y[2] != 3.5 {
+		t.Fatalf("Scale = %v", y)
+	}
+}
+
+func TestSolveSPDJitterRecovery(t *testing.T) {
+	// A barely-PSD matrix: rank deficient, SolveSPD should succeed via jitter.
+	a := FromRows([][]float64{{1, 1}, {1, 1}})
+	x, err := SolveSPD(a, []float64{2, 2})
+	if err != nil {
+		t.Fatalf("SolveSPD: %v", err)
+	}
+	// x should satisfy the system approximately: x0 + x1 ≈ 2.
+	if !almostEq(x[0]+x[1], 2, 1e-3) {
+		t.Fatalf("x = %v does not satisfy system", x)
+	}
+}

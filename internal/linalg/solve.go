@@ -1,0 +1,181 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix
+// is not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// ErrSingular is returned by the solvers when the system is singular or
+// too ill-conditioned to solve.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Cholesky computes the lower-triangular factor L of a symmetric
+// positive-definite matrix A such that A = L·Lᵀ. Only the lower
+// triangle of A is read.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: cholesky requires a square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		var d float64
+		lj := l.Row(j)
+		for k := 0; k < j; k++ {
+			d += lj[k] * lj[k]
+		}
+		d = a.At(j, j) - d
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		lj[j] = math.Sqrt(d)
+		inv := 1 / lj[j]
+		for i := j + 1; i < n; i++ {
+			li := l.Row(i)
+			var s float64
+			for k := 0; k < j; k++ {
+				s += li[k] * lj[k]
+			}
+			li[j] = (a.At(i, j) - s) * inv
+		}
+	}
+	return l, nil
+}
+
+// CholeskySolve solves A·x = b given the Cholesky factor L of A.
+func CholeskySolve(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	// Forward substitution: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		li := l.Row(i)
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= li[k] * y[k]
+		}
+		y[i] = s / li[i]
+	}
+	// Back substitution: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// SolveSPD solves A·x = b for symmetric positive-definite A, adding a
+// tiny jitter to the diagonal on failure before giving up.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	jitter := 0.0
+	for attempt := 0; attempt < 6; attempt++ {
+		m := a
+		if jitter > 0 {
+			m = a.Clone().AddScaledIdentity(jitter)
+		}
+		l, err := Cholesky(m)
+		if err == nil {
+			return CholeskySolve(l, b), nil
+		}
+		if jitter == 0 {
+			jitter = 1e-10
+		} else {
+			jitter *= 100
+		}
+	}
+	return nil, ErrNotPositiveDefinite
+}
+
+// SolveLinear solves a general square system A·x = b with partial
+// pivoting (Gaussian elimination). A and b are not modified.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols || a.Rows != len(b) {
+		return nil, errors.New("linalg: solve dimension mismatch")
+	}
+	n := a.Rows
+	m := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		p := col
+		best := math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > best {
+				best, p = v, r
+			}
+		}
+		if best < 1e-300 {
+			return nil, ErrSingular
+		}
+		if p != col {
+			mp, mc := m.Row(p), m.Row(col)
+			for j := range mp {
+				mp[j], mc[j] = mc[j], mp[j]
+			}
+			x[p], x[col] = x[col], x[p]
+		}
+		pivRow := m.Row(col)
+		piv := pivRow[col]
+		for r := col + 1; r < n; r++ {
+			rr := m.Row(r)
+			f := rr[col] / piv
+			if f == 0 {
+				continue
+			}
+			rr[col] = 0
+			for j := col + 1; j < n; j++ {
+				rr[j] -= f * pivRow[j]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		ri := m.Row(i)
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= ri[j] * x[j]
+		}
+		x[i] = s / ri[i]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ‖A·x − b‖₂ via ridge-stabilized normal
+// equations AᵀA·x = Aᵀb. ridge may be zero; a tiny jitter is added
+// automatically if the normal matrix is not positive definite.
+func LeastSquares(a *Matrix, b []float64, ridge float64) ([]float64, error) {
+	if a.Rows != len(b) {
+		return nil, errors.New("linalg: least squares dimension mismatch")
+	}
+	p := a.Cols
+	ata := NewMatrix(p, p)
+	atb := make([]float64, p)
+	for i := 0; i < a.Rows; i++ {
+		ri := a.Row(i)
+		for j, vj := range ri {
+			atb[j] += vj * b[i]
+			row := ata.Row(j)
+			for k := j; k < p; k++ {
+				row[k] += vj * ri[k]
+			}
+		}
+	}
+	// Mirror the upper triangle into the lower.
+	for j := 0; j < p; j++ {
+		for k := j + 1; k < p; k++ {
+			ata.Set(k, j, ata.At(j, k))
+		}
+	}
+	if ridge > 0 {
+		ata.AddScaledIdentity(ridge)
+	}
+	return SolveSPD(ata, atb)
+}

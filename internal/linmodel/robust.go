@@ -1,0 +1,260 @@
+package linmodel
+
+import (
+	"math"
+	"sort"
+
+	"fedforecaster/internal/linalg"
+)
+
+// HuberRegressor fits a linear model under the Huber loss, which is
+// quadratic for residuals below Epsilon·σ and linear beyond, making it
+// robust to outliers. Fitted by iteratively reweighted least squares
+// (IRLS) with L2 regularization Alpha, matching the (epsilon, alpha)
+// search space of Table 2.
+type HuberRegressor struct {
+	Epsilon float64 // transition point in units of residual scale (≥ 1)
+	Alpha   float64 // L2 regularization
+	MaxIter int
+	Tol     float64
+
+	scaler    scaler
+	center    centerer
+	Coef      []float64
+	Intercept float64
+	fitted    bool
+}
+
+// NewHuber returns a Huber regressor with the given epsilon and alpha.
+func NewHuber(epsilon, alpha float64) *HuberRegressor {
+	if epsilon < 1 {
+		epsilon = 1
+	}
+	return &HuberRegressor{Epsilon: epsilon, Alpha: alpha, MaxIter: 50, Tol: 1e-6}
+}
+
+// Fit trains the model by IRLS.
+func (m *HuberRegressor) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errEmptyTraining
+	}
+	m.scaler.fit(x)
+	xsRaw := m.scaler.transform(x)
+	yc := m.center.fit(y)
+	n := len(xsRaw)
+	// Augment with an intercept column so the bias is re-estimated
+	// robustly: with outliers the contaminated target mean alone would
+	// leave a large systematic offset.
+	p := len(xsRaw[0]) + 1
+	xs := make([][]float64, n)
+	for i, row := range xsRaw {
+		r := make([]float64, p)
+		copy(r, row)
+		r[p-1] = 1
+		xs[i] = r
+	}
+
+	w := make([]float64, p)
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	for iter := 0; iter < m.MaxIter; iter++ {
+		// Weighted ridge solve: (XᵀWX + αI)w = XᵀWy (bias unregularized).
+		xtx := linalg.NewMatrix(p, p)
+		xty := make([]float64, p)
+		for i := 0; i < n; i++ {
+			wi := weights[i]
+			row := xs[i]
+			for j := 0; j < p; j++ {
+				xty[j] += wi * row[j] * yc[i]
+				rj := xtx.Row(j)
+				for k := j; k < p; k++ {
+					rj[k] += wi * row[j] * row[k]
+				}
+			}
+		}
+		for j := 0; j < p; j++ {
+			for k := j + 1; k < p; k++ {
+				xtx.Set(k, j, xtx.At(j, k))
+			}
+			reg := 1e-10
+			if j < p-1 {
+				reg += m.Alpha * float64(n)
+			}
+			xtx.Set(j, j, xtx.At(j, j)+reg)
+		}
+		newW, err := linalg.SolveSPD(xtx, xty)
+		if err != nil {
+			return err
+		}
+		var delta float64
+		for j := range w {
+			delta += math.Abs(newW[j] - w[j])
+		}
+		w = newW
+		// Robust scale estimate (MAD) of residuals.
+		resid := make([]float64, n)
+		abs := make([]float64, n)
+		for i := range resid {
+			resid[i] = yc[i] - linalg.Dot(xs[i], w)
+			abs[i] = math.Abs(resid[i])
+		}
+		sigma := medianOf(abs) / 0.6745
+		if sigma < 1e-9 {
+			sigma = 1e-9
+		}
+		thr := m.Epsilon * sigma
+		for i := range weights {
+			if abs[i] <= thr {
+				weights[i] = 1
+			} else {
+				weights[i] = thr / abs[i]
+			}
+		}
+		if delta < m.Tol {
+			break
+		}
+	}
+	m.Coef = w[:p-1]
+	m.Intercept = m.center.mean + w[p-1]
+	m.fitted = true
+	return nil
+}
+
+// Predict returns predictions for the given rows.
+func (m *HuberRegressor) Predict(x [][]float64) []float64 {
+	if !m.fitted {
+		panic("linmodel: Huber.Predict before Fit")
+	}
+	return linPredict(&m.scaler, m.Coef, m.Intercept, x)
+}
+
+// QuantileRegressor fits a linear model minimizing the pinball loss at
+// the given quantile with an L1 penalty Alpha, in the spirit of
+// scikit-learn's QuantileRegressor. It is trained by subgradient
+// descent with a decaying step size and iterate averaging (robust and
+// dependency-free; adequate at the data sizes the engine sees).
+type QuantileRegressor struct {
+	Quantile float64 // target quantile in (0, 1)
+	Alpha    float64 // L1 regularization
+	MaxIter  int
+	LR       float64
+
+	scaler    scaler
+	center    centerer
+	Coef      []float64
+	Intercept float64
+	fitted    bool
+}
+
+// NewQuantile returns a quantile regressor. Quantile is clamped into
+// (0.01, 0.99).
+func NewQuantile(quantile, alpha float64) *QuantileRegressor {
+	if quantile < 0.01 {
+		quantile = 0.01
+	}
+	if quantile > 0.99 {
+		quantile = 0.99
+	}
+	return &QuantileRegressor{Quantile: quantile, Alpha: alpha, MaxIter: 400, LR: 0.5}
+}
+
+// Fit trains the model by averaged subgradient descent.
+func (m *QuantileRegressor) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errEmptyTraining
+	}
+	m.scaler.fit(x)
+	xs := m.scaler.transform(x)
+	yc := m.center.fit(y)
+	n, p := len(xs), len(xs[0])
+	nf := float64(n)
+
+	w := make([]float64, p)
+	b := 0.0
+	avgW := make([]float64, p)
+	avgB := 0.0
+	grad := make([]float64, p)
+	q := m.Quantile
+	// Scale the step to the target's spread so learning is unit-free.
+	var spread float64
+	for _, v := range yc {
+		spread += math.Abs(v)
+	}
+	spread /= nf
+	if spread < 1e-9 {
+		spread = 1
+	}
+	for iter := 0; iter < m.MaxIter; iter++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		gb := 0.0
+		for i := 0; i < n; i++ {
+			pred := linalg.Dot(xs[i], w) + b
+			r := yc[i] - pred
+			// d pinball / d pred: −q when r>0, (1−q) when r<0.
+			var g float64
+			if r > 0 {
+				g = -q
+			} else if r < 0 {
+				g = 1 - q
+			}
+			for j, v := range xs[i] {
+				grad[j] += g * v
+			}
+			gb += g
+		}
+		lr := m.LR * spread / (1 + 0.1*float64(iter))
+		for j := range w {
+			gj := grad[j]/nf + m.Alpha*sign(w[j])
+			w[j] -= lr * gj
+		}
+		b -= lr * gb / nf
+		// Polyak averaging over the second half of iterations.
+		if iter >= m.MaxIter/2 {
+			k := float64(iter - m.MaxIter/2 + 1)
+			for j := range avgW {
+				avgW[j] += (w[j] - avgW[j]) / k
+			}
+			avgB += (b - avgB) / k
+		}
+	}
+	m.Coef = avgW
+	m.Intercept = avgB + m.center.mean
+	m.fitted = true
+	return nil
+}
+
+// Predict returns predictions for the given rows.
+func (m *QuantileRegressor) Predict(x [][]float64) []float64 {
+	if !m.fitted {
+		panic("linmodel: Quantile.Predict before Fit")
+	}
+	return linPredict(&m.scaler, m.Coef, m.Intercept, x)
+}
+
+func sign(v float64) float64 {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	mid := len(tmp) / 2
+	if len(tmp)%2 == 1 {
+		return tmp[mid]
+	}
+	return (tmp[mid-1] + tmp[mid]) / 2
+}

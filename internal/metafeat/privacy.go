@@ -1,0 +1,97 @@
+package metafeat
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Privatize applies a local-differential-privacy style Laplace
+// mechanism to a client fingerprint before it is shared: every scalar
+// statistic is perturbed with Laplace noise scaled by its value range
+// over epsilon, and the histogram is perturbed and re-normalized.
+// Structural fields (lag indices, seasonal periods) are coarse by
+// construction and left intact; counts derived from them are noised.
+//
+// This is the engine's optional extra privacy layer on top of the
+// paper's aggregate-only sharing. Exact per-feature sensitivity
+// calibration (for formal ε-DP guarantees) depends on data bounds the
+// server does not know; the mechanism here uses empirical ranges,
+// which is the usual practical compromise and is documented as such.
+func Privatize(cf ClientFeatures, epsilon float64, rng *rand.Rand) ClientFeatures {
+	if epsilon <= 0 {
+		return cf
+	}
+	out := cf
+	lap := func(scale float64) float64 {
+		if scale <= 0 {
+			return 0
+		}
+		u := rng.Float64() - 0.5
+		return -scale / epsilon * sign(u) * math.Log(1-2*math.Abs(u))
+	}
+	noisy := func(v, span float64) float64 { return v + lap(span) }
+	clamp01 := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+
+	// Binary stationarity flags: randomized response style noising via
+	// perturb-then-round keeps them in {0, 1}.
+	flip := func(v float64) float64 {
+		p := 1 / (1 + math.Exp(epsilon)) // flip probability shrinks with ε
+		if rng.Float64() < p {
+			return 1 - v
+		}
+		return v
+	}
+	out.Stationary = flip(cf.Stationary)
+	out.StationaryDiff1 = flip(cf.StationaryDiff1)
+	out.StationaryDiff2 = flip(cf.StationaryDiff2)
+
+	out.MissingPct = math.Max(0, noisy(cf.MissingPct, 5))
+	out.SigLagCount = math.Max(0, noisy(cf.SigLagCount, 2))
+	out.InsigGapCount = math.Max(0, noisy(cf.InsigGapCount, 2))
+	out.SeasonalCount = math.Max(0, noisy(cf.SeasonalCount, 1))
+	out.Skewness = noisy(cf.Skewness, 1)
+	out.Kurtosis = noisy(cf.Kurtosis, 2)
+	out.FractalDim = noisy(cf.FractalDim, 0.2)
+	// Instance counts are shared at coarse granularity instead of
+	// exactly (rounded to the nearest 50).
+	out.NumInstances = math.Round(cf.NumInstances/50) * 50
+	if out.NumInstances < 50 {
+		out.NumInstances = 50
+	}
+
+	// Histogram: perturb each bin, clamp, renormalize.
+	if len(cf.Histogram) > 0 {
+		h := make([]float64, len(cf.Histogram))
+		var total float64
+		for i, p := range cf.Histogram {
+			h[i] = clamp01(noisy(p, 0.1))
+			total += h[i]
+		}
+		if total <= 0 {
+			for i := range h {
+				h[i] = 1 / float64(len(h))
+			}
+		} else {
+			for i := range h {
+				h[i] /= total
+			}
+		}
+		out.Histogram = h
+	}
+	return out
+}
+
+func sign(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,51 @@
+package metafeat
+
+// Vector flattens the aggregated meta-features into the fixed-order
+// numeric vector consumed by the meta-model. The order must stay in
+// sync with VectorNames.
+func (a Aggregated) Vector() []float64 {
+	out := make([]float64, 0, len(vectorNames))
+	out = append(out, a.NumClients, a.SamplingRate)
+	out = append(out, a.Instances.Sum, a.Instances.Avg, a.Instances.Min, a.Instances.Max, a.Instances.Std)
+	out = append(out, a.Missing.Avg, a.Missing.Min, a.Missing.Max, a.Missing.Std)
+	out = append(out, a.Stationary.Avg, a.Stationary.Min, a.Stationary.Max, a.Stationary.Std)
+	out = append(out, a.StationaryEntr)
+	out = append(out, a.StationaryDiff1.Avg, a.StationaryDiff1.Min, a.StationaryDiff1.Max, a.StationaryDiff1.Std)
+	out = append(out, a.StationaryDiff2.Avg, a.StationaryDiff2.Min, a.StationaryDiff2.Max, a.StationaryDiff2.Std)
+	out = append(out, a.SigLags.Avg, a.SigLags.Min, a.SigLags.Max, a.SigLags.Std)
+	out = append(out, a.InsigGaps.Avg, a.InsigGaps.Min, a.InsigGaps.Max, a.InsigGaps.Std)
+	out = append(out, a.SeasonalCounts.Avg, a.SeasonalCounts.Min, a.SeasonalCounts.Max, a.SeasonalCounts.Std)
+	out = append(out, a.Skewness.Avg, a.Skewness.Min, a.Skewness.Max, a.Skewness.Std)
+	out = append(out, a.Kurtosis.Avg, a.Kurtosis.Min, a.Kurtosis.Max, a.Kurtosis.Std)
+	out = append(out, a.FractalAvg)
+	out = append(out, a.PeriodMin, a.PeriodMax)
+	out = append(out, a.KL.Avg, a.KL.Min, a.KL.Max, a.KL.Std)
+	for i, v := range out {
+		out[i] = zeroIfNaN(v)
+	}
+	return out
+}
+
+// vectorNames is the canonical feature naming of Vector.
+var vectorNames = []string{
+	"num_clients", "sampling_rate",
+	"instances_sum", "instances_avg", "instances_min", "instances_max", "instances_std",
+	"missing_avg", "missing_min", "missing_max", "missing_std",
+	"stationary_avg", "stationary_min", "stationary_max", "stationary_std",
+	"stationarity_entropy",
+	"stationary_d1_avg", "stationary_d1_min", "stationary_d1_max", "stationary_d1_std",
+	"stationary_d2_avg", "stationary_d2_min", "stationary_d2_max", "stationary_d2_std",
+	"siglags_avg", "siglags_min", "siglags_max", "siglags_std",
+	"insiggaps_avg", "insiggaps_min", "insiggaps_max", "insiggaps_std",
+	"seasonal_count_avg", "seasonal_count_min", "seasonal_count_max", "seasonal_count_std",
+	"skewness_avg", "skewness_min", "skewness_max", "skewness_std",
+	"kurtosis_avg", "kurtosis_min", "kurtosis_max", "kurtosis_std",
+	"fractal_avg",
+	"period_min", "period_max",
+	"kl_avg", "kl_min", "kl_max", "kl_std",
+}
+
+// VectorNames returns the feature names aligned with Vector's output.
+func VectorNames() []string {
+	return append([]string(nil), vectorNames...)
+}

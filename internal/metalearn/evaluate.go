@@ -1,0 +1,90 @@
+package metalearn
+
+import (
+	"errors"
+	"math/rand"
+
+	"fedforecaster/internal/stats"
+)
+
+// EvalResult is one row of the Table 4 comparison.
+type EvalResult struct {
+	Model string
+	MRR3  float64
+	F1    float64
+}
+
+// EvaluateMetaModel splits the knowledge base 80/20 (record-level,
+// shuffled by seed), trains the named classifier on the training part,
+// and reports MRR@3 against each validation record's true ranking and
+// macro F1 against the top-1 label — the Section 5.3 protocol.
+func EvaluateMetaModel(kb *KnowledgeBase, name string, trainFrac float64, k int, seed int64) (EvalResult, error) {
+	if len(kb.Records) < 5 {
+		return EvalResult{}, errors.New("metalearn: knowledge base too small to evaluate")
+	}
+	if trainFrac <= 0 || trainFrac >= 1 {
+		trainFrac = 0.8
+	}
+	if k <= 0 {
+		k = 3
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(len(kb.Records))
+	cut := int(float64(len(kb.Records)) * trainFrac)
+	if cut < 1 {
+		cut = 1
+	}
+	if cut >= len(kb.Records) {
+		cut = len(kb.Records) - 1
+	}
+
+	trainKB := &KnowledgeBase{FeatureNames: kb.FeatureNames}
+	var validRecs []Record
+	for i, idx := range order {
+		if i < cut {
+			trainKB.Records = append(trainKB.Records, kb.Records[idx])
+		} else {
+			validRecs = append(validRecs, kb.Records[idx])
+		}
+	}
+
+	clf, err := NewClassifier(name, seed)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	mm, err := TrainMetaModel(trainKB, clf)
+	if err != nil {
+		return EvalResult{}, err
+	}
+
+	var topK [][]string
+	var top1, truth []string
+	for _, r := range validRecs {
+		recs := mm.RecommendTopK(r.MetaFeatures, k)
+		topK = append(topK, recs)
+		if len(recs) > 0 {
+			top1 = append(top1, recs[0])
+		} else {
+			top1 = append(top1, "")
+		}
+		truth = append(truth, r.BestAlgorithm)
+	}
+	return EvalResult{
+		Model: name,
+		MRR3:  stats.MRRAtK(topK, truth, k),
+		F1:    stats.F1Macro(top1, truth),
+	}, nil
+}
+
+// EvaluateAllMetaModels runs the full Table 4 comparison.
+func EvaluateAllMetaModels(kb *KnowledgeBase, trainFrac float64, k int, seed int64) ([]EvalResult, error) {
+	var out []EvalResult
+	for _, name := range MetaModelNames() {
+		res, err := EvaluateMetaModel(kb, name, trainFrac, k, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

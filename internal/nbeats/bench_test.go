@@ -1,0 +1,34 @@
+package nbeats
+
+import "testing"
+
+func BenchmarkTrainStep(b *testing.B) {
+	series := sineSeries(600, 24, 0.1, 1)
+	cfg := smallConfig(48, 1, 2)
+	m := New(cfg)
+	if err := m.TrainSteps(series, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.TrainSteps(series, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForecast(b *testing.B) {
+	series := sineSeries(600, 24, 0.1, 3)
+	cfg := smallConfig(48, 1, 4)
+	cfg.Epochs = 2
+	m := New(cfg)
+	if err := m.Fit(series); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Forecast(series); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package nbeats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// smallConfig keeps tests fast.
+func smallConfig(backcast, horizon int, seed int64) Config {
+	return Config{
+		BackcastLength:  backcast,
+		ForecastLength:  horizon,
+		GenericBlocks:   1,
+		TrendBlocks:     1,
+		SeasonalBlocks:  1,
+		GenericNeurons:  16,
+		TrendNeurons:    16,
+		SeasonalNeurons: 16,
+		PolyDegree:      2,
+		Harmonics:       2,
+		LR:              5e-3,
+		BatchSize:       32,
+		Epochs:          30,
+		Seed:            seed,
+	}
+}
+
+func sineSeries(n, period int, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 10 + 3*math.Sin(2*math.Pi*float64(i)/float64(period)) + noise*rng.NormFloat64()
+	}
+	return out
+}
+
+func TestGradCheck(t *testing.T) {
+	// Numerically verify the full backward pass through blocks.
+	cfg := smallConfig(8, 2, 1)
+	m := New(cfg)
+	rng := rand.New(rand.NewSource(2))
+	window := make([]float64, 8)
+	target := make([]float64, 2)
+	for i := range window {
+		window[i] = rng.NormFloat64()
+	}
+	for i := range target {
+		target[i] = rng.NormFloat64()
+	}
+	loss := func() float64 {
+		f, _ := m.forward(window)
+		var s float64
+		for j := range f {
+			d := f[j] - target[j]
+			s += d * d
+		}
+		return s / float64(len(f))
+	}
+	m.zeroGrad()
+	f, _ := m.forward(window)
+	dfc := make([]float64, len(f))
+	for j := range f {
+		dfc[j] = 2 * (f[j] - target[j]) / float64(len(f))
+	}
+	m.backward(dfc)
+
+	// Pick parameters from several layers and compare with finite
+	// differences.
+	const eps = 1e-6
+	b0 := m.blocks[0]
+	checks := []struct {
+		name string
+		p    []float64
+		g    []float64
+		idx  int
+	}{
+		{"fc0.W", b0.fc[0].W, b0.fc[0].GradW, 3},
+		{"fc3.B", b0.fc[3].B, b0.fc[3].GradB, 0},
+		{"thetaF.W", b0.thetaF.W, b0.thetaF.GradW, 1},
+		{"thetaB.W", b0.thetaB.W, b0.thetaB.GradW, 2},
+		{"last.thetaF.W", m.blocks[len(m.blocks)-1].thetaF.W, m.blocks[len(m.blocks)-1].thetaF.GradW, 0},
+	}
+	for _, c := range checks {
+		orig := c.p[c.idx]
+		c.p[c.idx] = orig + eps
+		lp := loss()
+		c.p[c.idx] = orig - eps
+		lm := loss()
+		c.p[c.idx] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-c.g[c.idx]) > 1e-4*(1+math.Abs(num)) {
+			t.Errorf("%s grad = %v, numeric %v", c.name, c.g[c.idx], num)
+		}
+	}
+}
+
+func TestFitLearnsSine(t *testing.T) {
+	series := sineSeries(400, 16, 0.05, 3)
+	cfg := smallConfig(32, 1, 4)
+	cfg.Epochs = 60
+	m := New(cfg)
+	if err := m.Fit(series[:360]); err != nil {
+		t.Fatal(err)
+	}
+	mse, err := m.EvaluateOneStep(series[:360], series[360:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive persistence baseline for comparison.
+	var naive float64
+	for i := 360; i < len(series); i++ {
+		d := series[i] - series[i-1]
+		naive += d * d
+	}
+	naive /= float64(len(series) - 360)
+	if mse > naive {
+		t.Errorf("N-BEATS MSE %v worse than persistence %v", mse, naive)
+	}
+	if mse > 1.0 {
+		t.Errorf("N-BEATS sine MSE = %v, want < 1", mse)
+	}
+}
+
+func TestForecastHorizon(t *testing.T) {
+	series := sineSeries(300, 20, 0.01, 5)
+	cfg := smallConfig(40, 5, 6)
+	cfg.Epochs = 40
+	m := New(cfg)
+	if err := m.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	fc, err := m.Forecast(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fc) != 5 {
+		t.Fatalf("forecast length = %d, want 5", len(fc))
+	}
+	for _, v := range fc {
+		if math.IsNaN(v) || math.Abs(v-10) > 8 {
+			t.Fatalf("forecast %v implausible for series centred at 10", fc)
+		}
+	}
+}
+
+func TestSeriesTooShort(t *testing.T) {
+	m := New(smallConfig(32, 1, 7))
+	if err := m.Fit(make([]float64, 10)); err == nil {
+		t.Error("short series accepted")
+	}
+	if _, err := m.Forecast(make([]float64, 3)); err == nil {
+		t.Error("short context accepted")
+	}
+}
+
+func TestWeightsRoundTrip(t *testing.T) {
+	cfg := smallConfig(16, 1, 8)
+	a := New(cfg)
+	b := New(cfg)
+	series := sineSeries(200, 10, 0.1, 9)
+	if err := a.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	w := a.Weights()
+	if len(w) != a.NumParams() {
+		t.Fatalf("weights length %d != NumParams %d", len(w), a.NumParams())
+	}
+	if err := b.SetWeights(w); err != nil {
+		t.Fatal(err)
+	}
+	b.SetStandardization(a.mean, a.std)
+	fa, err := a.Forecast(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.Forecast(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fa {
+		if math.Abs(fa[i]-fb[i]) > 1e-12 {
+			t.Fatalf("weight round trip changed forecast: %v vs %v", fa, fb)
+		}
+	}
+}
+
+func TestSetWeightsLengthMismatch(t *testing.T) {
+	m := New(smallConfig(16, 1, 10))
+	if err := m.SetWeights([]float64{1, 2, 3}); err == nil {
+		t.Error("bad weight vector accepted")
+	}
+}
+
+func TestTrainStepsImproves(t *testing.T) {
+	series := sineSeries(300, 12, 0.05, 11)
+	cfg := smallConfig(24, 1, 12)
+	m := New(cfg)
+	// Initialize standardization and measure loss before/after training.
+	if err := m.TrainSteps(series[:260], 1); err != nil {
+		t.Fatal(err)
+	}
+	before, err := m.EvaluateOneStep(series[:260], series[260:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TrainSteps(series[:260], 200); err != nil {
+		t.Fatal(err)
+	}
+	after, err := m.EvaluateOneStep(series[:260], series[260:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Errorf("TrainSteps did not improve: %v → %v", before, after)
+	}
+}
+
+func TestFedAvgOfWeights(t *testing.T) {
+	// Averaging two same-config models yields a loadable weight vector
+	// (the federated layer relies on this).
+	cfg := smallConfig(16, 1, 13)
+	a := New(cfg)
+	b := New(cfg)
+	cfgB := cfg
+	cfgB.Seed = 99
+	b = New(cfgB)
+	wa, wb := a.Weights(), b.Weights()
+	avg := make([]float64, len(wa))
+	for i := range avg {
+		avg[i] = (wa[i] + wb[i]) / 2
+	}
+	c := New(cfg)
+	if err := c.SetWeights(avg); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Weights()
+	for i := range got {
+		if math.Abs(got[i]-avg[i]) > 1e-15 {
+			t.Fatal("averaged weights did not load exactly")
+		}
+	}
+}
+
+func TestConstantSeriesNoNaN(t *testing.T) {
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = 5
+	}
+	cfg := smallConfig(16, 1, 14)
+	cfg.Epochs = 3
+	m := New(cfg)
+	if err := m.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	fc, err := m.Forecast(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(fc[0]) {
+		t.Fatal("constant series produced NaN forecast")
+	}
+}

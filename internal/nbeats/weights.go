@@ -1,0 +1,69 @@
+package nbeats
+
+import "errors"
+
+// Weights returns all trainable parameters flattened into one slice,
+// in a deterministic layer order, for federated averaging.
+func (m *Model) Weights() []float64 {
+	var out []float64
+	for _, b := range m.blocks {
+		for _, l := range b.fc {
+			out = append(out, l.W...)
+			out = append(out, l.B...)
+		}
+		out = append(out, b.thetaB.W...)
+		out = append(out, b.thetaB.B...)
+		out = append(out, b.thetaF.W...)
+		out = append(out, b.thetaF.B...)
+	}
+	return out
+}
+
+// SetWeights loads a flat parameter vector produced by Weights from a
+// model with the identical configuration.
+func (m *Model) SetWeights(w []float64) error {
+	want := m.NumParams()
+	if len(w) != want {
+		return errors.New("nbeats: weight vector length mismatch")
+	}
+	pos := 0
+	take := func(dst []float64) {
+		copy(dst, w[pos:pos+len(dst)])
+		pos += len(dst)
+	}
+	for _, b := range m.blocks {
+		for _, l := range b.fc {
+			take(l.W)
+			take(l.B)
+		}
+		take(b.thetaB.W)
+		take(b.thetaB.B)
+		take(b.thetaF.W)
+		take(b.thetaF.B)
+	}
+	m.fitted = true
+	return nil
+}
+
+// NumParams returns the total number of trainable parameters.
+func (m *Model) NumParams() int {
+	var n int
+	for _, b := range m.blocks {
+		for _, l := range b.fc {
+			n += l.NumParams()
+		}
+		n += b.thetaB.NumParams() + b.thetaF.NumParams()
+	}
+	return n
+}
+
+// SetStandardization overrides the series standardization, used when a
+// federated server distributes globally aggregated statistics so all
+// clients share one normalization.
+func (m *Model) SetStandardization(mean, std float64) {
+	if std < 1e-12 {
+		std = 1
+	}
+	m.mean, m.std = mean, std
+	m.fitted = true
+}

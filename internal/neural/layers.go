@@ -1,0 +1,188 @@
+// Package neural provides the small feed-forward building blocks used
+// by the N-BEATS baseline and the MLP meta-model classifier: dense
+// layers with manual backprop, ReLU, softmax cross-entropy, and the
+// Adam optimizer. Layers process one sample at a time and accumulate
+// gradients, which keeps the implementation simple and allocation-free
+// in the hot path; minibatching is a loop plus one optimizer step.
+package neural
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Linear is a fully connected layer y = W·x + b with gradient
+// accumulation buffers.
+type Linear struct {
+	In, Out int
+	W       []float64 // Out×In, row-major
+	B       []float64
+	GradW   []float64
+	GradB   []float64
+
+	lastIn []float64 // cached input for backprop
+}
+
+// NewLinear returns a He-initialized dense layer.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{
+		In: in, Out: out,
+		W:     make([]float64, in*out),
+		B:     make([]float64, out),
+		GradW: make([]float64, in*out),
+		GradB: make([]float64, out),
+	}
+	std := math.Sqrt(2 / float64(in))
+	for i := range l.W {
+		l.W[i] = rng.NormFloat64() * std
+	}
+	return l
+}
+
+// Forward computes W·x + b and caches x for Backward.
+func (l *Linear) Forward(x []float64) []float64 {
+	l.lastIn = x
+	out := make([]float64, l.Out)
+	for o := 0; o < l.Out; o++ {
+		row := l.W[o*l.In : (o+1)*l.In]
+		var s float64
+		for i, v := range x {
+			s += row[i] * v
+		}
+		out[o] = s + l.B[o]
+	}
+	return out
+}
+
+// Backward accumulates parameter gradients for the cached input and
+// returns dL/dx.
+func (l *Linear) Backward(dout []float64) []float64 {
+	dx := make([]float64, l.In)
+	for o := 0; o < l.Out; o++ {
+		g := dout[o]
+		l.GradB[o] += g
+		row := l.W[o*l.In : (o+1)*l.In]
+		grow := l.GradW[o*l.In : (o+1)*l.In]
+		for i := 0; i < l.In; i++ {
+			grow[i] += g * l.lastIn[i]
+			dx[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+// ZeroGrad clears the accumulated gradients.
+func (l *Linear) ZeroGrad() {
+	for i := range l.GradW {
+		l.GradW[i] = 0
+	}
+	for i := range l.GradB {
+		l.GradB[i] = 0
+	}
+}
+
+// Params returns the parameter/gradient slice pairs for the optimizer.
+func (l *Linear) Params() [][2][]float64 {
+	return [][2][]float64{{l.W, l.GradW}, {l.B, l.GradB}}
+}
+
+// NumParams returns the number of scalar parameters.
+func (l *Linear) NumParams() int { return len(l.W) + len(l.B) }
+
+// ReLUForward applies max(0, x) and returns the activation mask for
+// the backward pass.
+func ReLUForward(x []float64) (out []float64, mask []bool) {
+	out = make([]float64, len(x))
+	mask = make([]bool, len(x))
+	for i, v := range x {
+		if v > 0 {
+			out[i] = v
+			mask[i] = true
+		}
+	}
+	return out, mask
+}
+
+// ReLUBackward gates dout by the stored mask.
+func ReLUBackward(dout []float64, mask []bool) []float64 {
+	dx := make([]float64, len(dout))
+	for i, m := range mask {
+		if m {
+			dx[i] = dout[i]
+		}
+	}
+	return dx
+}
+
+// Softmax returns the softmax of logits.
+func Softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	maxV := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		out[i] = math.Exp(v - maxV)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Adam is the Adam optimizer over a set of Linear layers.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t int
+	m [][]float64
+	v [][]float64
+
+	params [][2][]float64
+}
+
+// NewAdam returns an optimizer bound to the given layers.
+func NewAdam(lr float64, layers ...*Linear) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+	for _, l := range layers {
+		a.params = append(a.params, l.Params()...)
+	}
+	a.m = make([][]float64, len(a.params))
+	a.v = make([][]float64, len(a.params))
+	for i, pg := range a.params {
+		a.m[i] = make([]float64, len(pg[0]))
+		a.v[i] = make([]float64, len(pg[0]))
+	}
+	return a
+}
+
+// Step applies one Adam update using the layers' accumulated
+// gradients, scaled by 1/batchSize.
+func (a *Adam) Step(batchSize int) {
+	a.t++
+	inv := 1.0
+	if batchSize > 0 {
+		inv = 1 / float64(batchSize)
+	}
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, pg := range a.params {
+		p, g := pg[0], pg[1]
+		m, v := a.m[i], a.v[i]
+		for j := range p {
+			gj := g[j] * inv
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*gj
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*gj*gj
+			mh := m[j] / bc1
+			vh := v[j] / bc2
+			p[j] -= a.LR * mh / (math.Sqrt(vh) + a.Epsilon)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package pipeline contains the per-client training/evaluation path
+// shared by the engine, the baselines, and knowledge-base
+// construction: engineer features for a client split, fit a candidate
+// configuration on the training rows, score it on the validation (or
+// test) rows, and aggregate client losses into the weighted global
+// loss of Equation 1.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fedforecaster/internal/features"
+	"fedforecaster/internal/fl"
+	"fedforecaster/internal/model"
+	"fedforecaster/internal/search"
+	"fedforecaster/internal/timeseries"
+)
+
+// Splits are the chronological data fractions used by the harness:
+// optimization fits on Train and scores on Valid; the final model fits
+// on Train+Valid and reports Test MSE (Table 3's "test MSE").
+type Splits struct {
+	ValidFrac float64 // default 0.15
+	TestFrac  float64 // default 0.15
+}
+
+func (s Splits) normalized() Splits {
+	if s.ValidFrac <= 0 || s.ValidFrac >= 0.5 {
+		s.ValidFrac = 0.15
+	}
+	if s.TestFrac <= 0 || s.TestFrac >= 0.5 {
+		s.TestFrac = 0.15
+	}
+	return s
+}
+
+// Bounds returns the row indices (trainEnd, validEnd) splitting a
+// series of length n into train / valid / test.
+func (s Splits) Bounds(n int) (trainEnd, validEnd int) {
+	s = s.normalized()
+	testN := int(math.Round(float64(n) * s.TestFrac))
+	validN := int(math.Round(float64(n) * s.ValidFrac))
+	validEnd = n - testN
+	trainEnd = validEnd - validN
+	if trainEnd < 1 {
+		trainEnd = 1
+	}
+	if validEnd <= trainEnd {
+		validEnd = trainEnd + 1
+	}
+	if validEnd > n {
+		validEnd = n
+	}
+	return trainEnd, validEnd
+}
+
+// ErrNotEnoughData is returned when a client split cannot produce the
+// requested evaluation rows.
+var ErrNotEnoughData = errors.New("pipeline: not enough data in client split")
+
+// ClientLoss fits cfg on one client's training rows and returns the
+// loss on the requested segment. phase selects the scored rows:
+// "valid" (optimization) or "test" (final reporting; the model then
+// trains on train+valid).
+func ClientLoss(s *timeseries.Series, eng *features.Engineer, cfg search.Config,
+	splits Splits, phase string, seed int64) (loss float64, nRows int, err error) {
+	n := s.Len()
+	trainEnd, validEnd := splits.Bounds(n)
+	// The trend model may not look beyond the fitting region.
+	fitLen := trainEnd
+	if phase == "test" {
+		fitLen = validEnd
+	}
+	ds, err := eng.Build(s, fitLen)
+	if err != nil {
+		return 0, 0, err
+	}
+	off := eng.MaxLag()
+	fitRows := fitLen - off
+	scoreEnd := validEnd - off
+	if phase == "test" {
+		scoreEnd = n - off
+	}
+	if fitRows < 4 || scoreEnd <= fitRows {
+		return 0, 0, ErrNotEnoughData
+	}
+	train, rest := ds.Split(fitRows)
+	scoreRows := scoreEnd - fitRows
+	if scoreRows > rest.Len() {
+		scoreRows = rest.Len()
+	}
+	score := &model.Dataset{X: rest.X[:scoreRows], Y: rest.Y[:scoreRows], Names: rest.Names}
+
+	m, err := search.Instantiate(cfg, seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := m.Fit(train.X, train.Y); err != nil {
+		return 0, 0, fmt.Errorf("pipeline: fitting %s: %w", cfg.Algorithm, err)
+	}
+	return model.MSE(m.Predict(score.X), score.Y), score.Len(), nil
+}
+
+// GlobalLoss evaluates cfg across all client splits and aggregates the
+// losses weighted by client sizes (Equation 1). Clients whose splits
+// are too small are skipped; if every client is skipped an error is
+// returned.
+func GlobalLoss(clients []*timeseries.Series, eng *features.Engineer, cfg search.Config,
+	splits Splits, phase string, seed int64) (float64, error) {
+	var losses, sizes []float64
+	var lastErr error
+	for i, s := range clients {
+		loss, _, err := ClientLoss(s, eng, cfg, splits, phase, seed+int64(i))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		losses = append(losses, loss)
+		sizes = append(sizes, float64(s.Len()))
+	}
+	if len(losses) == 0 {
+		if lastErr != nil {
+			return 0, lastErr
+		}
+		return 0, ErrNotEnoughData
+	}
+	return fl.WeightedLoss(losses, sizes)
+}

@@ -1,0 +1,132 @@
+package pipeline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedforecaster/internal/features"
+	"fedforecaster/internal/metafeat"
+	"fedforecaster/internal/search"
+	"fedforecaster/internal/timeseries"
+)
+
+func arSeries(n int, seed int64) *timeseries.Series {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, n)
+	vals[0] = 10
+	for i := 1; i < n; i++ {
+		vals[i] = 10 + 0.9*(vals[i-1]-10) + 0.5*rng.NormFloat64()
+	}
+	return timeseries.New("ar", vals, timeseries.RateDaily)
+}
+
+func TestSplitsBounds(t *testing.T) {
+	s := Splits{ValidFrac: 0.15, TestFrac: 0.15}
+	trainEnd, validEnd := s.Bounds(1000)
+	if trainEnd != 700 || validEnd != 850 {
+		t.Errorf("bounds = %d/%d, want 700/850", trainEnd, validEnd)
+	}
+	// Degenerate input gets defaults.
+	d := Splits{}
+	te, ve := d.Bounds(100)
+	if te <= 0 || ve <= te || ve > 100 {
+		t.Errorf("default bounds = %d/%d", te, ve)
+	}
+	// Tiny series remain ordered.
+	te2, ve2 := s.Bounds(5)
+	if te2 < 1 || ve2 <= te2 || ve2 > 5 {
+		t.Errorf("tiny bounds = %d/%d", te2, ve2)
+	}
+}
+
+func testEngineer(clients []*timeseries.Series) *features.Engineer {
+	agg, _ := metafeat.ComputeAggregated(clients)
+	return features.NewEngineer(agg)
+}
+
+func lassoCfg() search.Config {
+	return search.Config{
+		Algorithm: search.AlgoLasso,
+		Values:    map[string]float64{"alpha": 0.001},
+		Cats:      map[string]string{"selection": "cyclic"},
+	}
+}
+
+func TestClientLossValidAndTest(t *testing.T) {
+	s := arSeries(800, 1)
+	eng := testEngineer([]*timeseries.Series{s})
+	splits := Splits{ValidFrac: 0.15, TestFrac: 0.15}
+	vl, vn, err := ClientLoss(s, eng, lassoCfg(), splits, "valid", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, tn, err := ClientLoss(s, eng, lassoCfg(), splits, "test", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vn == 0 || tn == 0 {
+		t.Fatal("no scored rows")
+	}
+	// An AR(0.9) with noise 0.5 has one-step MSE ≈ 0.25; both phases
+	// should be in a sane range.
+	for _, l := range []float64{vl, tl} {
+		if math.IsNaN(l) || l <= 0 || l > 5 {
+			t.Errorf("loss = %v out of plausible range", l)
+		}
+	}
+}
+
+func TestGlobalLossAggregates(t *testing.T) {
+	clients := []*timeseries.Series{arSeries(700, 2), arSeries(900, 3), arSeries(1100, 4)}
+	eng := testEngineer(clients)
+	loss, err := GlobalLoss(clients, eng, lassoCfg(), Splits{}, "valid", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(loss) || loss <= 0 {
+		t.Fatalf("global loss = %v", loss)
+	}
+}
+
+func TestGlobalLossSkipsTinyClients(t *testing.T) {
+	clients := []*timeseries.Series{
+		arSeries(800, 6),
+		timeseries.New("tiny", []float64{1, 2, 3, 4, 5}, timeseries.RateDaily),
+	}
+	eng := testEngineer(clients[:1])
+	if _, err := GlobalLoss(clients, eng, lassoCfg(), Splits{}, "valid", 7); err != nil {
+		t.Fatalf("tiny client should be skipped, got %v", err)
+	}
+}
+
+func TestGlobalLossAllTooSmall(t *testing.T) {
+	clients := []*timeseries.Series{
+		timeseries.New("tiny", []float64{1, 2, 3, 4, 5, 6, 7, 8}, timeseries.RateDaily),
+	}
+	eng := &features.Engineer{Lags: []int{1, 2, 3}, UseTrend: false, UseTime: false}
+	if _, err := GlobalLoss(clients, eng, lassoCfg(), Splits{}, "valid", 8); err == nil {
+		t.Fatal("all-tiny clients should error")
+	}
+}
+
+func TestBetterConfigScoresBetter(t *testing.T) {
+	// An absurdly over-regularized Lasso must lose to a sensible one on
+	// a strongly autocorrelated series.
+	clients := []*timeseries.Series{arSeries(900, 9)}
+	eng := testEngineer(clients)
+	good := lassoCfg()
+	bad := lassoCfg()
+	bad.Values["alpha"] = 1e6
+	gl, err := GlobalLoss(clients, eng, good, Splits{}, "valid", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := GlobalLoss(clients, eng, bad, Splits{}, "valid", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gl >= bl {
+		t.Errorf("good config loss %v not better than degenerate %v", gl, bl)
+	}
+}

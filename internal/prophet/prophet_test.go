@@ -1,0 +1,139 @@
+package prophet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLinearTrendRecovery(t *testing.T) {
+	n := 200
+	ys := make([]float64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range ys {
+		ys[i] = 2 + 0.05*float64(i) + 0.1*rng.NormFloat64()
+	}
+	m, err := Fit(ys, Config{Growth: Linear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trend := m.Trend(n)
+	// Trend should track the underlying line closely.
+	var mse float64
+	for i := range trend {
+		d := trend[i] - (2 + 0.05*float64(i))
+		mse += d * d
+	}
+	mse /= float64(n)
+	if mse > 0.05 {
+		t.Errorf("linear trend MSE = %v", mse)
+	}
+}
+
+func TestPiecewiseTrendFollowsBreak(t *testing.T) {
+	// Slope changes sign at the midpoint; changepoints must absorb it.
+	n := 300
+	ys := make([]float64, n)
+	for i := range ys {
+		if i < n/2 {
+			ys[i] = float64(i) * 0.1
+		} else {
+			ys[i] = float64(n/2)*0.1 - float64(i-n/2)*0.08
+		}
+	}
+	m, err := Fit(ys, Config{Growth: Linear, NumChangepoints: 20, Ridge: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fitted slope late in the series should be negative.
+	if s := m.Slope(n - 1); s >= 0 {
+		t.Errorf("late slope = %v, want negative", s)
+	}
+	if s := m.Slope(10); s <= 0 {
+		t.Errorf("early slope = %v, want positive", s)
+	}
+	// Fit quality.
+	var mse float64
+	for i, v := range m.Trend(n) {
+		d := v - ys[i]
+		mse += d * d
+	}
+	if mse/float64(n) > 0.5 {
+		t.Errorf("piecewise MSE = %v", mse/float64(n))
+	}
+}
+
+func TestLogisticTrendSaturates(t *testing.T) {
+	// Sigmoid-shaped data: logistic growth should extrapolate flat, a
+	// linear trend would keep climbing.
+	n := 200
+	ys := make([]float64, n)
+	for i := range ys {
+		ys[i] = 100 / (1 + math.Exp(-0.06*(float64(i)-100)))
+	}
+	m, err := Fit(ys, Config{Growth: Logistic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-sample fit.
+	var mse float64
+	for i, v := range m.Trend(n) {
+		d := v - ys[i]
+		mse += d * d
+	}
+	if mse/float64(n) > 20 {
+		t.Errorf("logistic MSE = %v", mse/float64(n))
+	}
+	// Extrapolation must stay bounded near the capacity.
+	far := m.TrendAt(3 * n)
+	if far > 140 || far < 50 {
+		t.Errorf("logistic extrapolation = %v, want saturated near 100", far)
+	}
+}
+
+func TestTooShortSeries(t *testing.T) {
+	if _, err := Fit([]float64{1, 2, 3}, Config{}); err == nil {
+		t.Error("3-point series accepted")
+	}
+}
+
+func TestChangepointsWithinRange(t *testing.T) {
+	ys := make([]float64, 100)
+	for i := range ys {
+		ys[i] = float64(i)
+	}
+	m, err := Fit(ys, Config{NumChangepoints: 8, ChangepointMax: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range m.Changepoints() {
+		if s <= 0 || s > 0.5 {
+			t.Errorf("changepoint %v outside (0, 0.5]", s)
+		}
+	}
+}
+
+func TestTrendBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("TrendAt before Fit did not panic")
+		}
+	}()
+	(&Model{}).TrendAt(0)
+}
+
+func TestConstantSeries(t *testing.T) {
+	ys := make([]float64, 50)
+	for i := range ys {
+		ys[i] = 42
+	}
+	m, err := Fit(ys, Config{Growth: Linear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range m.Trend(50) {
+		if math.Abs(v-42) > 1 {
+			t.Errorf("constant trend value = %v", v)
+		}
+	}
+}

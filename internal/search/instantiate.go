@@ -1,0 +1,57 @@
+package search
+
+import (
+	"fmt"
+	"strconv"
+
+	"fedforecaster/internal/ensemble"
+	"fedforecaster/internal/linmodel"
+	"fedforecaster/internal/model"
+)
+
+// Instantiate builds a concrete regressor from a configuration. seed
+// makes stochastic trainers reproducible.
+func Instantiate(cfg Config, seed int64) (model.Regressor, error) {
+	switch cfg.Algorithm {
+	case AlgoLasso:
+		m := linmodel.NewLasso(cfg.Values["alpha"], selection(cfg))
+		m.Seed = seed
+		return m, nil
+	case AlgoLinearSVR:
+		m := linmodel.NewLinearSVR(cfg.Values["C"], cfg.Values["epsilon"])
+		m.Seed = seed
+		return m, nil
+	case AlgoElasticNetCV:
+		m := linmodel.NewElasticNetCV(cfg.Values["l1_ratio"], selection(cfg))
+		m.Seed = seed
+		return m, nil
+	case AlgoXGB:
+		return ensemble.NewXGBRegressor(ensemble.XGBOptions{
+			NumTrees:     int(cfg.Values["n_estimators"]),
+			MaxDepth:     int(cfg.Values["max_depth"]),
+			LearningRate: cfg.Values["learning_rate"],
+			Lambda:       cfg.Values["reg_lambda"],
+			Subsample:    cfg.Values["subsample"],
+			Seed:         seed,
+		}), nil
+	case AlgoHuber:
+		eps := 1.35
+		if s, ok := cfg.Cats["epsilon"]; ok {
+			if v, err := strconv.ParseFloat(s, 64); err == nil {
+				eps = v
+			}
+		}
+		return linmodel.NewHuber(eps, cfg.Values["alpha"]), nil
+	case AlgoQuantile:
+		return linmodel.NewQuantile(cfg.Values["quantile"], cfg.Values["alpha"]), nil
+	default:
+		return nil, fmt.Errorf("search: unknown algorithm %q", cfg.Algorithm)
+	}
+}
+
+func selection(cfg Config) linmodel.SelectionRule {
+	if cfg.Cats["selection"] == "random" {
+		return linmodel.SelectionRandom
+	}
+	return linmodel.SelectionCyclic
+}

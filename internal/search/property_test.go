@@ -1,0 +1,118 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Decode is total on [0,1]^d — any unit vector produces a
+// valid in-range configuration, and Encode∘Decode is idempotent (a
+// projection): decoding an encoded configuration reproduces it.
+func TestDecodeTotalProperty(t *testing.T) {
+	spaces := DefaultSpaces()
+	f := func(raw []float64, pick uint8) bool {
+		s := spaces[int(pick)%len(spaces)]
+		u := make([]float64, s.Dim())
+		for i := range u {
+			v := 0.5
+			if i < len(raw) && !math.IsNaN(raw[i]) && !math.IsInf(raw[i], 0) {
+				v = math.Abs(math.Mod(raw[i], 1))
+			}
+			u[i] = v
+		}
+		cfg := s.Decode(u)
+		// In-range checks.
+		for _, p := range s.Params {
+			switch p.Kind {
+			case Categorical:
+				ok := false
+				for _, c := range p.Choices {
+					if cfg.Cats[p.Name] == c {
+						ok = true
+					}
+				}
+				if !ok {
+					return false
+				}
+			default:
+				v := cfg.Values[p.Name]
+				if v < p.Lo-1e-9 || v > p.Hi+1e-9 || math.IsNaN(v) {
+					return false
+				}
+			}
+		}
+		// Projection property.
+		again := s.Decode(s.Encode(cfg))
+		for _, p := range s.Params {
+			switch p.Kind {
+			case Categorical:
+				if again.Cats[p.Name] != cfg.Cats[p.Name] {
+					return false
+				}
+			case IntUniform:
+				if again.Values[p.Name] != cfg.Values[p.Name] {
+					return false
+				}
+			default:
+				a, b := again.Values[p.Name], cfg.Values[p.Name]
+				if math.Abs(a-b) > 1e-6*(1+math.Abs(b)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every grid point is valid and unique under String().
+func TestGridValidityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, s := range DefaultSpaces() {
+		per := 1 + rng.Intn(3)
+		grid := s.Grid(per)
+		if len(grid) == 0 {
+			t.Fatalf("%s: empty grid", s.Algorithm)
+		}
+		seen := map[string]bool{}
+		for _, cfg := range grid {
+			key := cfg.String()
+			if seen[key] {
+				t.Fatalf("%s: duplicate grid point %s", s.Algorithm, key)
+			}
+			seen[key] = true
+			if cfg.Algorithm != s.Algorithm {
+				t.Fatalf("grid point has wrong algorithm %s", cfg.Algorithm)
+			}
+		}
+	}
+}
+
+// Property: sampled configurations always instantiate into a working
+// regressor.
+func TestSampleAlwaysInstantiatesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	x := [][]float64{{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}}
+	y := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	for trial := 0; trial < 60; trial++ {
+		for _, s := range DefaultSpaces() {
+			cfg := s.Sample(rng)
+			m, err := Instantiate(cfg, int64(trial))
+			if err != nil {
+				t.Fatalf("%s: %v", cfg, err)
+			}
+			if err := m.Fit(x, y); err != nil {
+				t.Fatalf("%s fit: %v", cfg, err)
+			}
+			for _, p := range m.Predict(x[:2]) {
+				if math.IsNaN(p) || math.IsInf(p, 0) {
+					t.Fatalf("%s predicted %v", cfg, p)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDefaultSpacesMatchTable2(t *testing.T) {
+	spaces := DefaultSpaces()
+	if len(spaces) != 6 {
+		t.Fatalf("want 6 algorithms, got %d", len(spaces))
+	}
+	want := map[string][]string{
+		AlgoLasso:        {"alpha", "selection"},
+		AlgoLinearSVR:    {"C", "epsilon"},
+		AlgoElasticNetCV: {"l1_ratio", "selection"},
+		AlgoXGB:          {"n_estimators", "max_depth", "learning_rate", "reg_lambda", "subsample"},
+		AlgoHuber:        {"epsilon", "alpha"},
+		AlgoQuantile:     {"alpha", "quantile"},
+	}
+	for _, s := range spaces {
+		params, ok := want[s.Algorithm]
+		if !ok {
+			t.Errorf("unexpected algorithm %s", s.Algorithm)
+			continue
+		}
+		if len(s.Params) != len(params) {
+			t.Errorf("%s has %d params, want %d", s.Algorithm, len(s.Params), len(params))
+			continue
+		}
+		for i, p := range s.Params {
+			if p.Name != params[i] {
+				t.Errorf("%s param %d = %s, want %s", s.Algorithm, i, p.Name, params[i])
+			}
+		}
+	}
+}
+
+func TestSampleWithinBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, s := range DefaultSpaces() {
+		for trial := 0; trial < 50; trial++ {
+			cfg := s.Sample(rng)
+			if cfg.Algorithm != s.Algorithm {
+				t.Fatalf("sample algorithm = %s", cfg.Algorithm)
+			}
+			for _, p := range s.Params {
+				switch p.Kind {
+				case Categorical:
+					found := false
+					for _, c := range p.Choices {
+						if cfg.Cats[p.Name] == c {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("%s.%s = %q not a choice", s.Algorithm, p.Name, cfg.Cats[p.Name])
+					}
+				case IntUniform:
+					v := cfg.Values[p.Name]
+					if v != math.Trunc(v) || v < p.Lo || v > p.Hi {
+						t.Fatalf("%s.%s = %v outside int range [%v,%v]", s.Algorithm, p.Name, v, p.Lo, p.Hi)
+					}
+				default:
+					v := cfg.Values[p.Name]
+					if v < p.Lo-1e-9 || v > p.Hi+1e-9 {
+						t.Fatalf("%s.%s = %v outside [%v,%v]", s.Algorithm, p.Name, v, p.Lo, p.Hi)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, s := range DefaultSpaces() {
+		for trial := 0; trial < 30; trial++ {
+			cfg := s.Sample(rng)
+			u := s.Encode(cfg)
+			if len(u) != s.Dim() {
+				t.Fatalf("encoded dim = %d, want %d", len(u), s.Dim())
+			}
+			for _, v := range u {
+				if v < 0 || v > 1 {
+					t.Fatalf("encoded value %v outside [0,1]", v)
+				}
+			}
+			back := s.Decode(u)
+			for _, p := range s.Params {
+				switch p.Kind {
+				case Categorical:
+					if back.Cats[p.Name] != cfg.Cats[p.Name] {
+						t.Fatalf("%s.%s cat round trip %q → %q", s.Algorithm, p.Name, cfg.Cats[p.Name], back.Cats[p.Name])
+					}
+				case IntUniform:
+					if back.Values[p.Name] != cfg.Values[p.Name] {
+						t.Fatalf("%s.%s int round trip %v → %v", s.Algorithm, p.Name, cfg.Values[p.Name], back.Values[p.Name])
+					}
+				default:
+					a, b := cfg.Values[p.Name], back.Values[p.Name]
+					if math.Abs(a-b) > 1e-6*(1+math.Abs(a)) {
+						t.Fatalf("%s.%s round trip %v → %v", s.Algorithm, p.Name, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGridEnumerates(t *testing.T) {
+	s, ok := SpaceFor(DefaultSpaces(), AlgoLasso)
+	if !ok {
+		t.Fatal("Lasso space missing")
+	}
+	grid := s.Grid(3)
+	// 3 alpha levels × 2 selections = 6 unique configs.
+	if len(grid) != 6 {
+		t.Fatalf("grid size = %d, want 6", len(grid))
+	}
+	seen := map[string]bool{}
+	for _, c := range grid {
+		if seen[c.String()] {
+			t.Fatalf("duplicate grid point %s", c)
+		}
+		seen[c.String()] = true
+	}
+}
+
+func TestGridIntClamped(t *testing.T) {
+	s, _ := SpaceFor(DefaultSpaces(), AlgoXGB)
+	grid := s.Grid(2)
+	for _, c := range grid {
+		ne := c.Values["n_estimators"]
+		if ne < 5 || ne > 20 {
+			t.Fatalf("grid n_estimators = %v", ne)
+		}
+	}
+}
+
+func TestInstantiateAllAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Tiny dataset: each instantiated model must fit and predict.
+	x := make([][]float64, 60)
+	y := make([]float64, 60)
+	for i := range x {
+		x[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		y[i] = 2*x[i][0] + 0.1*rng.NormFloat64()
+	}
+	for _, s := range DefaultSpaces() {
+		cfg := s.Sample(rng)
+		m, err := Instantiate(cfg, 7)
+		if err != nil {
+			t.Fatalf("Instantiate(%s): %v", cfg, err)
+		}
+		if err := m.Fit(x, y); err != nil {
+			t.Fatalf("%s Fit: %v", cfg.Algorithm, err)
+		}
+		pred := m.Predict(x[:3])
+		for _, p := range pred {
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				t.Fatalf("%s produced %v", cfg.Algorithm, p)
+			}
+		}
+	}
+}
+
+func TestInstantiateUnknown(t *testing.T) {
+	if _, err := Instantiate(Config{Algorithm: "Nope"}, 0); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestConfigStringDeterministic(t *testing.T) {
+	c := Config{
+		Algorithm: AlgoXGB,
+		Values:    map[string]float64{"a": 1, "b": 2},
+		Cats:      map[string]string{"sel": "cyclic"},
+	}
+	if c.String() != c.String() {
+		t.Error("Config.String not deterministic")
+	}
+	d := c.Clone()
+	d.Values["a"] = 99
+	if c.Values["a"] != 1 {
+		t.Error("Clone is shallow")
+	}
+}
+
+func TestSpaceForMissing(t *testing.T) {
+	if _, ok := SpaceFor(DefaultSpaces(), "Ghost"); ok {
+		t.Error("found a ghost space")
+	}
+}

@@ -1,0 +1,113 @@
+package stats
+
+import "math"
+
+// Histogram bins xs into nbins equal-width bins over [lo, hi] and
+// returns normalized frequencies (a probability vector). Values outside
+// the range are clamped into the boundary bins.
+func Histogram(xs []float64, lo, hi float64, nbins int) []float64 {
+	p := make([]float64, nbins)
+	if len(xs) == 0 || nbins <= 0 {
+		return p
+	}
+	width := (hi - lo) / float64(nbins)
+	if width <= 0 {
+		// Degenerate range: all mass in the first bin.
+		p[0] = 1
+		return p
+	}
+	for _, v := range xs {
+		b := int((v - lo) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		p[b]++
+	}
+	n := float64(len(xs))
+	for i := range p {
+		p[i] /= n
+	}
+	return p
+}
+
+// KLDivergence returns the Kullback-Leibler divergence D(p‖q) in nats.
+// Both inputs must be probability vectors of equal length. Zero bins
+// are smoothed with a small epsilon so the divergence stays finite, as
+// is standard when comparing empirical client distributions.
+func KLDivergence(p, q []float64) float64 {
+	const eps = 1e-10
+	var d float64
+	for i := range p {
+		pi := p[i] + eps
+		qi := q[i] + eps
+		d += pi * math.Log(pi/qi)
+	}
+	if d < 0 {
+		d = 0 // smoothing can produce tiny negatives
+	}
+	return d
+}
+
+// PairwiseKL computes the KL divergence between every ordered pair of
+// client value-distributions, histogrammed over the global range into
+// nbins bins, matching the "KL Div. among clients' distribution"
+// meta-feature in Table 1. Returns the flat list of pairwise values
+// (empty when fewer than two clients).
+func PairwiseKL(clients [][]float64, nbins int) []float64 {
+	if len(clients) < 2 {
+		return nil
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range clients {
+		for _, v := range c {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	hists := make([][]float64, len(clients))
+	for i, c := range clients {
+		hists[i] = Histogram(c, lo, hi, nbins)
+	}
+	var out []float64
+	for i := range hists {
+		for j := range hists {
+			if i == j {
+				continue
+			}
+			out = append(out, KLDivergence(hists[i], hists[j]))
+		}
+	}
+	return out
+}
+
+// Entropy returns the Shannon entropy (nats) of a probability vector.
+func Entropy(p []float64) float64 {
+	var h float64
+	for _, v := range p {
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}
+
+// BinaryEntropy returns the entropy (nats) of a Bernoulli distribution
+// with success probability p. Used for the "Target Stationarity"
+// meta-feature, whose aggregation across clients is the entropy of the
+// stationary/non-stationary flags.
+func BinaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log(p) - (1-p)*math.Log(1-p)
+}

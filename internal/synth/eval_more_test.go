@@ -1,0 +1,132 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"fedforecaster/internal/tsa"
+)
+
+// TestAllFamiliesGenerate exercises every Table 3 generator family at
+// reduced scale and checks family-specific invariants.
+func TestAllFamiliesGenerate(t *testing.T) {
+	for _, d := range EvalDatasets() {
+		d := d.Scaled(0.08)
+		t.Run(d.Name, func(t *testing.T) {
+			clients, full, err := d.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(clients) != d.Clients {
+				t.Fatalf("clients = %d, want %d", len(clients), d.Clients)
+			}
+			check := func(vals []float64) {
+				for i, v := range vals {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatalf("non-finite value at %d", i)
+					}
+				}
+			}
+			for _, c := range clients {
+				check(c.Values)
+				if c.Start.IsZero() {
+					t.Error("client series missing start time")
+				}
+			}
+			if !d.MultiSerie {
+				check(full.Values)
+			}
+
+			switch d.Family {
+			case FamilySunspots:
+				for _, v := range full.Values {
+					if v < 0 {
+						t.Fatal("negative sunspot count")
+					}
+				}
+			case FamilyCommodity, FamilyStock, FamilyETF:
+				// Prices must stay positive on every series.
+				priceSeries := clients
+				if !d.MultiSerie {
+					priceSeries = append(priceSeries, full)
+				}
+				for _, c := range priceSeries {
+					for _, v := range c.Values {
+						if v <= 0 {
+							t.Fatal("non-positive price")
+						}
+					}
+				}
+			case FamilyPolicyRate:
+				// Administered rates: mostly flat — the majority of
+				// successive differences should be tiny.
+				small := 0
+				for i := 1; i < full.Len(); i++ {
+					if math.Abs(full.Values[i]-full.Values[i-1]) < 0.05 {
+						small++
+					}
+				}
+				if frac := float64(small) / float64(full.Len()-1); frac < 0.8 {
+					t.Errorf("policy rate too volatile: %.2f of steps small", frac)
+				}
+			}
+		})
+	}
+}
+
+func TestExchangeRateIsPersistent(t *testing.T) {
+	var d EvalDataset
+	for _, e := range EvalDatasets() {
+		if e.Family == FamilyExchangeRate {
+			d = e.Scaled(0.2)
+		}
+	}
+	_, full, err := d.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FX levels are strongly autocorrelated.
+	acf := tsa.ACF(full.Values, 1)
+	if acf[1] < 0.95 {
+		t.Errorf("FX lag-1 autocorrelation = %v, want near 1", acf[1])
+	}
+}
+
+func TestDifferentSeedsDifferentData(t *testing.T) {
+	d := EvalDatasets()[0].Scaled(0.1)
+	a := d
+	b := d
+	b.Seed = d.Seed + 1
+	_, fa, err := a.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fb, err := b.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range fa.Values {
+		if fa.Values[i] == fb.Values[i] {
+			same++
+		}
+	}
+	if same > fa.Len()/10 {
+		t.Errorf("different seeds produced %d/%d identical values", same, fa.Len())
+	}
+}
+
+func TestKnowledgeBaseSpecsCappedCount(t *testing.T) {
+	specs := KnowledgeBaseSpecs(10, 3)
+	if len(specs) != 10 {
+		t.Fatalf("capped specs = %d", len(specs))
+	}
+	// Generation works for the capped subset too.
+	for _, sp := range specs[:3] {
+		sp.N = 500
+		s := sp.Generate()
+		if s.Len() != 500 {
+			t.Fatalf("generated length = %d", s.Len())
+		}
+	}
+}

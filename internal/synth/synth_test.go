@@ -1,0 +1,245 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"fedforecaster/internal/timeseries"
+	"fedforecaster/internal/tsa"
+)
+
+func TestKnowledgeBaseSpecsCount(t *testing.T) {
+	specs := KnowledgeBaseSpecs(512, 1)
+	if len(specs) != 512 {
+		t.Fatalf("specs = %d, want 512", len(specs))
+	}
+	// All five variation factors must actually vary.
+	rates := map[timeseries.SamplingRate]bool{}
+	snrs := map[float64]bool{}
+	missings := map[float64]bool{}
+	seasonCounts := map[int]bool{}
+	modes := map[bool]bool{}
+	names := map[string]bool{}
+	for _, sp := range specs {
+		rates[sp.Rate] = true
+		snrs[sp.SNR] = true
+		missings[sp.MissingPct] = true
+		seasonCounts[len(sp.Seasons)] = true
+		modes[sp.Multiplicative] = true
+		if names[sp.Name] {
+			t.Fatalf("duplicate spec name %s", sp.Name)
+		}
+		names[sp.Name] = true
+	}
+	if len(rates) < 4 || len(snrs) < 4 || len(missings) < 4 || len(seasonCounts) < 3 || len(modes) != 2 {
+		t.Errorf("variation factors insufficient: rates=%d snrs=%d miss=%d seasons=%d modes=%d",
+			len(rates), len(snrs), len(missings), len(seasonCounts), len(modes))
+	}
+}
+
+func TestSpecGenerateProperties(t *testing.T) {
+	sp := Spec{
+		Name: "t", N: 2000, Rate: timeseries.RateDaily, Level: 10,
+		Seasons:    []SeasonComponent{{Period: 24, Amplitude: 3}},
+		SNR:        8,
+		MissingPct: 0.05,
+		Seed:       7,
+	}
+	s := sp.Generate()
+	if s.Len() != 2000 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	miss := s.MissingFraction()
+	if miss < 0.02 || miss > 0.09 {
+		t.Errorf("missing fraction = %v, want ≈ 0.05", miss)
+	}
+	// Seasonality must be detectable after interpolation.
+	comps := tsa.DetectSeasonalities(s.Interpolate().Values, 3)
+	found := false
+	for _, c := range comps {
+		if math.Abs(float64(c.Period)-24) <= 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("period 24 not detected in %v", comps)
+	}
+}
+
+func TestSpecMultiplicativePositive(t *testing.T) {
+	sp := Spec{
+		Name: "m", N: 1000, Rate: timeseries.RateDaily, Level: 20,
+		Seasons:        []SeasonComponent{{Period: 12, Amplitude: 0.4}},
+		Multiplicative: true,
+		SNR:            32,
+		Seed:           8,
+	}
+	s := sp.Generate()
+	neg := 0
+	for _, v := range s.Values {
+		if v < 0 {
+			neg++
+		}
+	}
+	if frac := float64(neg) / float64(s.Len()); frac > 0.01 {
+		t.Errorf("multiplicative series %.1f%% negative", frac*100)
+	}
+}
+
+func TestSpecDeterministic(t *testing.T) {
+	sp := Spec{Name: "d", N: 100, Level: 5, SNR: 4, Seed: 9, Rate: timeseries.RateDaily}
+	a, b := sp.Generate(), sp.Generate()
+	for i := range a.Values {
+		av, bv := a.Values[i], b.Values[i]
+		if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+			t.Fatal("same seed produced different series")
+		}
+	}
+}
+
+func TestEvalDatasetsMatchTable3(t *testing.T) {
+	ds := EvalDatasets()
+	if len(ds) != 12 {
+		t.Fatalf("datasets = %d, want 12", len(ds))
+	}
+	wantLen := map[string]int{
+		"BOE-XUDLERD":   15653,
+		"SunSpotDaily":  73924,
+		"USBirthsDaily": 7305,
+	}
+	wantClients := map[string]int{
+		"BOE-XUDLERD":                 20,
+		"USBirthsDaily":               5,
+		"nasdaq_WIKI_AAPL_Price":      15,
+		"Utilities Select Sector ETF": 10,
+	}
+	for _, d := range ds {
+		if l, ok := wantLen[d.Name]; ok && d.Length != l {
+			t.Errorf("%s length = %d, want %d", d.Name, d.Length, l)
+		}
+		if c, ok := wantClients[d.Name]; ok && d.Clients != c {
+			t.Errorf("%s clients = %d, want %d", d.Name, d.Clients, c)
+		}
+	}
+	etfs := 0
+	for _, d := range ds {
+		if d.MultiSerie {
+			etfs++
+		}
+	}
+	if etfs != 3 {
+		t.Errorf("ETF datasets = %d, want 3", etfs)
+	}
+}
+
+func TestGenerateSingleSeries(t *testing.T) {
+	d := EvalDatasets()[0].Scaled(0.2) // BOE-XUDLERD at 20%
+	clients, full, err := d.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full == nil {
+		t.Fatal("single-series dataset has no consolidated form")
+	}
+	if len(clients) != d.Clients {
+		t.Fatalf("clients = %d, want %d", len(clients), d.Clients)
+	}
+	total := 0
+	for _, c := range clients {
+		total += c.Len()
+	}
+	if total != full.Len() {
+		t.Errorf("client splits cover %d, full %d", total, full.Len())
+	}
+	// FX levels plausible.
+	for _, v := range full.Values[:100] {
+		if v < 0.1 || v > 20 {
+			t.Fatalf("implausible FX level %v", v)
+		}
+	}
+}
+
+func TestGenerateETF(t *testing.T) {
+	var etf EvalDataset
+	for _, d := range EvalDatasets() {
+		if d.MultiSerie {
+			etf = d.Scaled(0.3)
+			break
+		}
+	}
+	clients, full, err := etf.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != nil {
+		t.Error("ETF should have no consolidated series")
+	}
+	if len(clients) != etf.Clients {
+		t.Fatalf("clients = %d", len(clients))
+	}
+	// Prices positive, clients distinct.
+	for _, c := range clients {
+		for _, v := range c.Values {
+			if v <= 0 {
+				t.Fatal("non-positive price")
+			}
+		}
+	}
+	if clients[0].Values[100] == clients[1].Values[100] {
+		t.Error("clients not distinct")
+	}
+	// Constituents of the same sector should be positively correlated
+	// in returns.
+	ret := func(s *timeseries.Series) []float64 {
+		out := make([]float64, s.Len()-1)
+		for i := 1; i < s.Len(); i++ {
+			out[i-1] = math.Log(s.Values[i] / s.Values[i-1])
+		}
+		return out
+	}
+	r0, r1 := ret(clients[0]), ret(clients[1])
+	var c01, v0, v1 float64
+	for i := range r0 {
+		c01 += r0[i] * r1[i]
+		v0 += r0[i] * r0[i]
+		v1 += r1[i] * r1[i]
+	}
+	corr := c01 / math.Sqrt(v0*v1)
+	if corr < 0.2 {
+		t.Errorf("constituent correlation = %v, want positive", corr)
+	}
+}
+
+func TestBirthsHaveWeeklySeasonality(t *testing.T) {
+	var births EvalDataset
+	for _, d := range EvalDatasets() {
+		if d.Family == FamilyBirths {
+			births = d.Scaled(0.3)
+		}
+	}
+	_, full, err := births.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := tsa.DetectSeasonalities(full.Values, 3)
+	found := false
+	for _, c := range comps {
+		if c.Period == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("weekly seasonality not detected: %v", comps)
+	}
+}
+
+func TestScaledRespectsMinimum(t *testing.T) {
+	d := EvalDatasets()[0] // 20 clients
+	tiny := d.Scaled(0.0001)
+	if tiny.Length < 120*tiny.Clients {
+		t.Errorf("scaled length %d too small for %d clients", tiny.Length, tiny.Clients)
+	}
+	if _, _, err := tiny.Generate(); err != nil {
+		t.Errorf("scaled dataset failed to generate: %v", err)
+	}
+}

@@ -1,0 +1,158 @@
+package timeseries
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ReadCSV loads a univariate series from CSV. The file may have either
+// one column (values only) or two columns (timestamp, value); a header
+// row is detected and skipped automatically. Empty or "NaN" value
+// fields become missing observations. The sampling rate is inferred
+// from the first two timestamps when present.
+func ReadCSV(r io.Reader, name string) (*Series, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("timeseries: reading csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("timeseries: empty csv")
+	}
+	start := 0
+	if !rowIsNumericTail(rows[0]) {
+		start = 1 // header
+	}
+	s := &Series{Name: name, Rate: RateUnknown}
+	var times []time.Time
+	for i := start; i < len(rows); i++ {
+		row := rows[i]
+		if len(row) == 0 {
+			continue
+		}
+		valField := strings.TrimSpace(row[len(row)-1])
+		v := math.NaN()
+		if valField != "" && !strings.EqualFold(valField, "nan") {
+			v, err = strconv.ParseFloat(valField, 64)
+			if err != nil {
+				return nil, fmt.Errorf("timeseries: row %d: bad value %q", i+1, valField)
+			}
+		}
+		s.Values = append(s.Values, v)
+		if len(row) >= 2 {
+			if t, terr := parseTime(strings.TrimSpace(row[0])); terr == nil {
+				times = append(times, t)
+			}
+		}
+	}
+	if len(times) >= 2 {
+		s.Start = times[0]
+		s.Rate = inferRate(times[1].Sub(times[0]))
+	}
+	return s, nil
+}
+
+// ReadCSVFile loads a series from a file path; the series name is the
+// path's base name without extension.
+func ReadCSVFile(path string) (*Series, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if i := strings.LastIndexByte(base, '.'); i > 0 {
+		base = base[:i]
+	}
+	return ReadCSV(f, base)
+}
+
+// WriteCSV writes the series as timestamp,value rows (or value-only
+// rows when the start time is unknown).
+func WriteCSV(w io.Writer, s *Series) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	hasTime := !s.Start.IsZero() && s.Rate != RateUnknown
+	if hasTime {
+		if err := cw.Write([]string{"timestamp", "value"}); err != nil {
+			return err
+		}
+	} else {
+		if err := cw.Write([]string{"value"}); err != nil {
+			return err
+		}
+	}
+	for i, v := range s.Values {
+		val := strconv.FormatFloat(v, 'g', -1, 64)
+		if math.IsNaN(v) {
+			val = ""
+		}
+		var row []string
+		if hasTime {
+			row = []string{s.TimeAt(i).Format(time.RFC3339), val}
+		} else {
+			row = []string{val}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func rowIsNumericTail(row []string) bool {
+	if len(row) == 0 {
+		return false
+	}
+	f := strings.TrimSpace(row[len(row)-1])
+	if f == "" || strings.EqualFold(f, "nan") {
+		return true // missing value row, not a header
+	}
+	_, err := strconv.ParseFloat(f, 64)
+	return err == nil
+}
+
+var timeLayouts = []string{
+	time.RFC3339,
+	"2006-01-02 15:04:05",
+	"2006-01-02",
+	"2006/01/02",
+	"01/02/2006",
+}
+
+func parseTime(s string) (time.Time, error) {
+	for _, layout := range timeLayouts {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("timeseries: unrecognized timestamp %q", s)
+}
+
+func inferRate(step time.Duration) SamplingRate {
+	switch {
+	case step <= 0:
+		return RateUnknown
+	case step <= 90*time.Minute:
+		return RateHourly
+	case step <= 36*time.Hour:
+		return RateDaily
+	case step <= 10*24*time.Hour:
+		return RateWeekly
+	case step <= 45*24*time.Hour:
+		return RateMonthly
+	default:
+		return RateUnknown
+	}
+}

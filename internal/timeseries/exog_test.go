@@ -1,0 +1,128 @@
+package timeseries
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExogSliceViews(t *testing.T) {
+	s := New("m", []float64{1, 2, 3, 4}, RateDaily)
+	s.Exog = map[string][]float64{"temp": {10, 20, 30, 40}}
+	sub := s.Slice(1, 3)
+	if len(sub.Exog["temp"]) != 2 || sub.Exog["temp"][0] != 20 {
+		t.Fatalf("exog slice = %v", sub.Exog["temp"])
+	}
+}
+
+func TestSlicePanicsOutOfRange(t *testing.T) {
+	s := New("p", []float64{1, 2}, RateDaily)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range slice did not panic")
+		}
+	}()
+	s.Slice(0, 5)
+}
+
+func TestWriteCSVValueOnlyWhenNoStart(t *testing.T) {
+	s := New("v", []float64{1, math.NaN(), 3}, RateUnknown)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "timestamp") {
+		t.Errorf("value-only CSV has timestamp column:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 3 rows
+		t.Fatalf("lines = %d", len(lines))
+	}
+}
+
+func TestReadCSVFileMissing(t *testing.T) {
+	if _, err := ReadCSVFile("/nonexistent/file.csv"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestInterpolatePreservesExogAndMeta(t *testing.T) {
+	start := time.Date(2023, 5, 1, 0, 0, 0, 0, time.UTC)
+	s := &Series{
+		Name: "meta", Values: []float64{1, math.NaN(), 3},
+		Rate: RateHourly, Start: start,
+		Exog: map[string][]float64{"x": {7, 8, 9}},
+	}
+	out := s.Interpolate()
+	if out.Name != "meta" || out.Rate != RateHourly || !out.Start.Equal(start) {
+		t.Error("interpolation lost metadata")
+	}
+	if out.Exog["x"][1] != 8 {
+		t.Error("interpolation lost exog channel")
+	}
+}
+
+func TestPartitionPreservesRateAndNames(t *testing.T) {
+	s := New("base", make([]float64, 100), RateWeekly)
+	parts, err := s.PartitionClients(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range parts {
+		if p.Rate != RateWeekly {
+			t.Errorf("part %d rate = %v", i, p.Rate)
+		}
+		if !strings.Contains(p.Name, "client") {
+			t.Errorf("part %d name = %q", i, p.Name)
+		}
+	}
+}
+
+func TestRateStepValues(t *testing.T) {
+	if RateHourly.Step() != time.Hour || RateDaily.Step() != 24*time.Hour {
+		t.Error("step durations wrong")
+	}
+	if RateUnknown.Step() != 0 {
+		t.Error("unknown rate should have zero step")
+	}
+}
+
+// TestReadCSVRobustAgainstGarbage feeds randomized byte soup to the
+// reader: it must either return an error or a well-formed series, and
+// never panic — the property a fuzzer would check, run here over a
+// deterministic corpus.
+func TestReadCSVRobustAgainstGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alphabet := []byte("0123456789.,-eE\"\nNaN:TZ ")
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(200)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on input %q: %v", buf, r)
+				}
+			}()
+			s, err := ReadCSV(bytes.NewReader(buf), "fuzz")
+			if err != nil {
+				return
+			}
+			// Returned series must be internally consistent.
+			if s.Len() < 0 {
+				t.Fatalf("negative length")
+			}
+			for _, ch := range s.Exog {
+				if len(ch) != s.Len() {
+					t.Fatalf("ragged exog channel")
+				}
+			}
+		}()
+	}
+}

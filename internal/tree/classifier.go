@@ -1,0 +1,211 @@
+package tree
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Classifier is a CART classification tree over integer class indices.
+// The ensemble layer maps string labels to indices once and shares the
+// mapping across trees.
+type Classifier struct {
+	Opts        Options
+	NumClasses  int
+	nodes       []node
+	importances []float64
+	nFeatures   int
+}
+
+// NewClassifier returns a classification tree for numClasses classes.
+func NewClassifier(opts Options, numClasses int) *Classifier {
+	return &Classifier{Opts: opts.normalized(), NumClasses: numClasses}
+}
+
+// Fit builds the tree on x (n×p) and integer class labels y.
+func (t *Classifier) Fit(x [][]float64, y []int) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errEmptyTraining
+	}
+	t.nFeatures = len(x[0])
+	t.nodes = t.nodes[:0]
+	t.importances = make([]float64, t.nFeatures)
+	rng := rand.New(rand.NewSource(t.Opts.Seed))
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.build(x, y, idx, 0, rng)
+	return nil
+}
+
+// giniTimesN computes n·gini from class counts.
+func giniTimesN(counts []float64, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	var sumsq float64
+	for _, c := range counts {
+		sumsq += c * c
+	}
+	return n - sumsq/n
+}
+
+func (t *Classifier) build(x [][]float64, y []int, idx []int, depth int, rng *rand.Rand) int {
+	counts := make([]float64, t.NumClasses)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	n := float64(len(idx))
+	dist := make([]float64, t.NumClasses)
+	for c := range counts {
+		dist[c] = counts[c] / n
+	}
+	impurity := giniTimesN(counts, n)
+
+	nodeID := len(t.nodes)
+	t.nodes = append(t.nodes, node{feature: -1, classDist: dist})
+	if len(idx) < t.Opts.MinSamplesSplit ||
+		(t.Opts.MaxDepth > 0 && depth >= t.Opts.MaxDepth) ||
+		impurity <= 1e-12 {
+		return nodeID
+	}
+
+	feat, thr, gain := t.bestSplitClf(x, y, idx, impurity, rng)
+	if feat < 0 || gain <= t.Opts.MinImpurityDecr {
+		return nodeID
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if x[i][feat] <= thr {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) < t.Opts.MinSamplesLeaf || len(rightIdx) < t.Opts.MinSamplesLeaf {
+		return nodeID
+	}
+	t.importances[feat] += gain
+	left := t.build(x, y, leftIdx, depth+1, rng)
+	right := t.build(x, y, rightIdx, depth+1, rng)
+	t.nodes[nodeID] = node{feature: feat, threshold: thr, left: left, right: right, classDist: dist}
+	return nodeID
+}
+
+func (t *Classifier) bestSplitClf(x [][]float64, y []int, idx []int, parentImp float64, rng *rand.Rand) (int, float64, float64) {
+	bestFeat, bestThr, bestGain := -1, 0.0, 0.0
+	total := make([]float64, t.NumClasses)
+	for _, i := range idx {
+		total[y[i]]++
+	}
+	n := float64(len(idx))
+	left := make([]float64, t.NumClasses)
+	right := make([]float64, t.NumClasses)
+
+	for _, f := range candidateFeatures(t.nFeatures, t.Opts.MaxFeatures, rng) {
+		if t.Opts.RandomThresholds {
+			lo, hi := x[idx[0]][f], x[idx[0]][f]
+			for _, i := range idx {
+				v := x[i][f]
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if !(hi > lo) {
+				continue
+			}
+			thr := lo + rng.Float64()*(hi-lo)
+			for c := range left {
+				left[c], right[c] = 0, 0
+			}
+			var ln, rn float64
+			for _, i := range idx {
+				if x[i][f] <= thr {
+					left[y[i]]++
+					ln++
+				} else {
+					right[y[i]]++
+					rn++
+				}
+			}
+			if int(ln) < t.Opts.MinSamplesLeaf || int(rn) < t.Opts.MinSamplesLeaf {
+				continue
+			}
+			gain := parentImp - giniTimesN(left, ln) - giniTimesN(right, rn)
+			if gain > bestGain {
+				bestFeat, bestThr, bestGain = f, thr, gain
+			}
+			continue
+		}
+		ord := make([]int, len(idx))
+		copy(ord, idx)
+		sort.Slice(ord, func(a, b int) bool { return x[ord[a]][f] < x[ord[b]][f] })
+		for c := range left {
+			left[c] = 0
+			right[c] = total[c]
+		}
+		for pos := 0; pos < len(ord)-1; pos++ {
+			i := ord[pos]
+			left[y[i]]++
+			right[y[i]]--
+			if x[ord[pos]][f] == x[ord[pos+1]][f] {
+				continue
+			}
+			ln := float64(pos + 1)
+			rn := n - ln
+			if int(ln) < t.Opts.MinSamplesLeaf || int(rn) < t.Opts.MinSamplesLeaf {
+				continue
+			}
+			gain := parentImp - giniTimesN(left, ln) - giniTimesN(right, rn)
+			if gain > bestGain {
+				bestFeat = f
+				bestThr = (x[ord[pos]][f] + x[ord[pos+1]][f]) / 2
+				bestGain = gain
+			}
+		}
+	}
+	return bestFeat, bestThr, bestGain
+}
+
+// PredictProbaOne returns the class distribution at the leaf reached
+// by row.
+func (t *Classifier) PredictProbaOne(row []float64) []float64 {
+	if len(t.nodes) == 0 {
+		panic("tree: Predict called before Fit")
+	}
+	cur := 0
+	for {
+		n := &t.nodes[cur]
+		if n.feature < 0 {
+			return n.classDist
+		}
+		if row[n.feature] <= n.threshold {
+			cur = n.left
+		} else {
+			cur = n.right
+		}
+	}
+}
+
+// PredictOne returns the majority class index for a single row.
+func (t *Classifier) PredictOne(row []float64) int {
+	dist := t.PredictProbaOne(row)
+	best := 0
+	for c, p := range dist {
+		if p > dist[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// FeatureImportances returns normalized Gini importances.
+func (t *Classifier) FeatureImportances() []float64 {
+	return normalizeImportances(t.importances)
+}
+
+// NumNodes reports the size of the fitted tree.
+func (t *Classifier) NumNodes() int { return len(t.nodes) }

@@ -1,0 +1,139 @@
+package tree
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// GradTree is a second-order gradient tree in the XGBoost style: it is
+// fitted to per-sample gradients g and hessians h of an arbitrary
+// twice-differentiable loss, producing leaf weights −G/(H+λ) and using
+// the regularized gain
+//
+//	½·[G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)] − γ
+//
+// as the split criterion.
+type GradTree struct {
+	MaxDepth       int
+	MinChildWeight float64 // minimum hessian sum per child
+	Lambda         float64 // L2 regularization on leaf weights
+	Gamma          float64 // minimum gain to split
+	MaxFeatures    int     // features considered per split; 0 = all
+	Seed           int64
+
+	nodes       []node
+	importances []float64
+	nFeatures   int
+}
+
+// FitGrad builds the tree on the rows listed in idx.
+func (t *GradTree) FitGrad(x [][]float64, g, h []float64, idx []int) error {
+	if len(x) == 0 || len(idx) == 0 {
+		return errEmptyTraining
+	}
+	t.nFeatures = len(x[0])
+	t.nodes = t.nodes[:0]
+	t.importances = make([]float64, t.nFeatures)
+	if t.MaxDepth <= 0 {
+		t.MaxDepth = 6
+	}
+	rng := rand.New(rand.NewSource(t.Seed))
+	t.build(x, g, h, idx, 0, rng)
+	return nil
+}
+
+func (t *GradTree) leafWeight(gSum, hSum float64) float64 {
+	return -gSum / (hSum + t.Lambda)
+}
+
+func (t *GradTree) score(gSum, hSum float64) float64 {
+	return gSum * gSum / (hSum + t.Lambda)
+}
+
+func (t *GradTree) build(x [][]float64, g, h []float64, idx []int, depth int, rng *rand.Rand) int {
+	var gSum, hSum float64
+	for _, i := range idx {
+		gSum += g[i]
+		hSum += h[i]
+	}
+	nodeID := len(t.nodes)
+	t.nodes = append(t.nodes, node{feature: -1, value: t.leafWeight(gSum, hSum)})
+	if depth >= t.MaxDepth || len(idx) < 2 {
+		return nodeID
+	}
+
+	parentScore := t.score(gSum, hSum)
+	bestFeat, bestThr, bestGain := -1, 0.0, 0.0
+	for _, f := range candidateFeatures(t.nFeatures, t.MaxFeatures, rng) {
+		ord := make([]int, len(idx))
+		copy(ord, idx)
+		sort.Slice(ord, func(a, b int) bool { return x[ord[a]][f] < x[ord[b]][f] })
+		var gl, hl float64
+		for pos := 0; pos < len(ord)-1; pos++ {
+			i := ord[pos]
+			gl += g[i]
+			hl += h[i]
+			if x[ord[pos]][f] == x[ord[pos+1]][f] {
+				continue
+			}
+			gr := gSum - gl
+			hr := hSum - hl
+			if hl < t.MinChildWeight || hr < t.MinChildWeight {
+				continue
+			}
+			gain := 0.5*(t.score(gl, hl)+t.score(gr, hr)-parentScore) - t.Gamma
+			if gain > bestGain {
+				bestFeat = f
+				bestThr = (x[ord[pos]][f] + x[ord[pos+1]][f]) / 2
+				bestGain = gain
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return nodeID
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if x[i][bestFeat] <= bestThr {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return nodeID
+	}
+	t.importances[bestFeat] += bestGain
+	left := t.build(x, g, h, leftIdx, depth+1, rng)
+	right := t.build(x, g, h, rightIdx, depth+1, rng)
+	t.nodes[nodeID] = node{feature: bestFeat, threshold: bestThr, left: left, right: right,
+		value: t.leafWeight(gSum, hSum)}
+	return nodeID
+}
+
+// PredictOne evaluates the tree on one feature row.
+func (t *GradTree) PredictOne(row []float64) float64 {
+	if len(t.nodes) == 0 {
+		panic("tree: GradTree Predict called before Fit")
+	}
+	cur := 0
+	for {
+		n := &t.nodes[cur]
+		if n.feature < 0 {
+			return n.value
+		}
+		if row[n.feature] <= n.threshold {
+			cur = n.left
+		} else {
+			cur = n.right
+		}
+	}
+}
+
+// FeatureImportances returns normalized gain importances.
+func (t *GradTree) FeatureImportances() []float64 {
+	return normalizeImportances(t.importances)
+}
+
+// NumNodes reports the size of the fitted tree.
+func (t *GradTree) NumNodes() int { return len(t.nodes) }

@@ -1,0 +1,270 @@
+// Package tree implements CART decision trees for regression (variance
+// reduction) and classification (Gini impurity), with the knobs the
+// ensemble layer needs: depth and leaf-size limits, per-split feature
+// subsampling (random forests), fully random thresholds (extra trees),
+// and impurity-based feature importances (federated feature selection).
+// It also provides GradTree, a second-order gradient tree used by the
+// XGBoost-style booster.
+package tree
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Options control tree induction.
+type Options struct {
+	MaxDepth         int     // 0 means unlimited
+	MinSamplesSplit  int     // minimum samples to consider splitting (default 2)
+	MinSamplesLeaf   int     // minimum samples per leaf (default 1)
+	MaxFeatures      int     // features considered per split; 0 means all
+	RandomThresholds bool    // extra-trees style: one random threshold per feature
+	MinImpurityDecr  float64 // minimum impurity decrease to accept a split
+	Seed             int64
+}
+
+func (o Options) normalized() Options {
+	if o.MinSamplesSplit < 2 {
+		o.MinSamplesSplit = 2
+	}
+	if o.MinSamplesLeaf < 1 {
+		o.MinSamplesLeaf = 1
+	}
+	return o
+}
+
+type node struct {
+	feature   int // -1 for leaf
+	threshold float64
+	left      int // child indices into the flat node slice
+	right     int
+	value     float64   // regression leaf value
+	classDist []float64 // classification leaf distribution
+}
+
+var errEmptyTraining = errors.New("tree: empty training set")
+
+// ---------------------------------------------------------------------------
+// Regression tree
+// ---------------------------------------------------------------------------
+
+// Regressor is a CART regression tree.
+type Regressor struct {
+	Opts        Options
+	nodes       []node
+	importances []float64
+	nFeatures   int
+}
+
+// NewRegressor returns a regression tree with the given options.
+func NewRegressor(opts Options) *Regressor { return &Regressor{Opts: opts.normalized()} }
+
+// Fit builds the tree on x (n×p) and y.
+func (t *Regressor) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errEmptyTraining
+	}
+	t.nFeatures = len(x[0])
+	t.nodes = t.nodes[:0]
+	t.importances = make([]float64, t.nFeatures)
+	rng := rand.New(rand.NewSource(t.Opts.Seed))
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.build(x, y, idx, 0, rng)
+	return nil
+}
+
+func (t *Regressor) build(x [][]float64, y []float64, idx []int, depth int, rng *rand.Rand) int {
+	var sum, sumsq float64
+	for _, i := range idx {
+		sum += y[i]
+		sumsq += y[i] * y[i]
+	}
+	n := float64(len(idx))
+	mean := sum / n
+	impurity := sumsq - sum*sum/n // n · variance
+
+	nodeID := len(t.nodes)
+	t.nodes = append(t.nodes, node{feature: -1, value: mean})
+	if len(idx) < t.Opts.MinSamplesSplit ||
+		(t.Opts.MaxDepth > 0 && depth >= t.Opts.MaxDepth) ||
+		impurity <= 1e-12 {
+		return nodeID
+	}
+
+	feat, thr, gain := t.bestSplitReg(x, y, idx, impurity, rng)
+	if feat < 0 || gain <= t.Opts.MinImpurityDecr {
+		return nodeID
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if x[i][feat] <= thr {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) < t.Opts.MinSamplesLeaf || len(rightIdx) < t.Opts.MinSamplesLeaf {
+		return nodeID
+	}
+	t.importances[feat] += gain
+	left := t.build(x, y, leftIdx, depth+1, rng)
+	right := t.build(x, y, rightIdx, depth+1, rng)
+	t.nodes[nodeID] = node{feature: feat, threshold: thr, left: left, right: right, value: mean}
+	return nodeID
+}
+
+// bestSplitReg scans candidate features for the split maximizing the
+// decrease of n·variance. Returns (-1, 0, 0) when no valid split exists.
+func (t *Regressor) bestSplitReg(x [][]float64, y []float64, idx []int, parentImp float64, rng *rand.Rand) (int, float64, float64) {
+	bestFeat, bestThr, bestGain := -1, 0.0, 0.0
+	for _, f := range candidateFeatures(t.nFeatures, t.Opts.MaxFeatures, rng) {
+		if t.Opts.RandomThresholds {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, i := range idx {
+				v := x[i][f]
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if !(hi > lo) {
+				continue
+			}
+			thr := lo + rng.Float64()*(hi-lo)
+			gain := regGainAt(x, y, idx, f, thr, parentImp, t.Opts.MinSamplesLeaf)
+			if gain > bestGain {
+				bestFeat, bestThr, bestGain = f, thr, gain
+			}
+			continue
+		}
+		// Exact scan over sorted values.
+		ord := make([]int, len(idx))
+		copy(ord, idx)
+		sort.Slice(ord, func(a, b int) bool { return x[ord[a]][f] < x[ord[b]][f] })
+		var lSum, lSumSq, tSum, tSumSq float64
+		for _, i := range ord {
+			tSum += y[i]
+			tSumSq += y[i] * y[i]
+		}
+		n := float64(len(ord))
+		for pos := 0; pos < len(ord)-1; pos++ {
+			i := ord[pos]
+			lSum += y[i]
+			lSumSq += y[i] * y[i]
+			if x[ord[pos]][f] == x[ord[pos+1]][f] {
+				continue // cannot split between equal values
+			}
+			ln := float64(pos + 1)
+			rn := n - ln
+			if int(ln) < t.Opts.MinSamplesLeaf || int(rn) < t.Opts.MinSamplesLeaf {
+				continue
+			}
+			rSum := tSum - lSum
+			rSumSq := tSumSq - lSumSq
+			childImp := (lSumSq - lSum*lSum/ln) + (rSumSq - rSum*rSum/rn)
+			gain := parentImp - childImp
+			if gain > bestGain {
+				bestFeat = f
+				bestThr = (x[ord[pos]][f] + x[ord[pos+1]][f]) / 2
+				bestGain = gain
+			}
+		}
+	}
+	return bestFeat, bestThr, bestGain
+}
+
+func regGainAt(x [][]float64, y []float64, idx []int, f int, thr, parentImp float64, minLeaf int) float64 {
+	var lSum, lSumSq, rSum, rSumSq float64
+	var ln, rn float64
+	for _, i := range idx {
+		if x[i][f] <= thr {
+			lSum += y[i]
+			lSumSq += y[i] * y[i]
+			ln++
+		} else {
+			rSum += y[i]
+			rSumSq += y[i] * y[i]
+			rn++
+		}
+	}
+	if int(ln) < minLeaf || int(rn) < minLeaf {
+		return 0
+	}
+	childImp := (lSumSq - lSum*lSum/ln) + (rSumSq - rSum*rSum/rn)
+	return parentImp - childImp
+}
+
+// Predict returns one prediction per row of x.
+func (t *Regressor) Predict(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = t.PredictOne(row)
+	}
+	return out
+}
+
+// PredictOne evaluates the tree on a single feature row.
+func (t *Regressor) PredictOne(row []float64) float64 {
+	if len(t.nodes) == 0 {
+		panic("tree: Predict called before Fit")
+	}
+	cur := 0
+	for {
+		n := &t.nodes[cur]
+		if n.feature < 0 {
+			return n.value
+		}
+		if row[n.feature] <= n.threshold {
+			cur = n.left
+		} else {
+			cur = n.right
+		}
+	}
+}
+
+// FeatureImportances returns impurity-decrease importances normalized
+// to sum to 1 (all zeros if the tree is a stump).
+func (t *Regressor) FeatureImportances() []float64 {
+	return normalizeImportances(t.importances)
+}
+
+// NumNodes reports the size of the fitted tree.
+func (t *Regressor) NumNodes() int { return len(t.nodes) }
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+func candidateFeatures(p, maxFeatures int, rng *rand.Rand) []int {
+	all := make([]int, p)
+	for i := range all {
+		all[i] = i
+	}
+	if maxFeatures <= 0 || maxFeatures >= p {
+		return all
+	}
+	rng.Shuffle(p, func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return all[:maxFeatures]
+}
+
+func normalizeImportances(imp []float64) []float64 {
+	out := make([]float64, len(imp))
+	var total float64
+	for _, v := range imp {
+		total += v
+	}
+	if total <= 0 {
+		return out
+	}
+	for i, v := range imp {
+		out[i] = v / total
+	}
+	return out
+}

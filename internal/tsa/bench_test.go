@@ -1,0 +1,66 @@
+package tsa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func benchSeries(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, n)
+	for i := 1; i < n; i++ {
+		xs[i] = 0.7*xs[i-1] + math.Sin(2*math.Pi*float64(i)/24) + rng.NormFloat64()
+	}
+	return xs
+}
+
+func BenchmarkACF(b *testing.B) {
+	xs := benchSeries(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ACF(xs, 40)
+	}
+}
+
+func BenchmarkPACF(b *testing.B) {
+	xs := benchSeries(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PACF(xs, 40)
+	}
+}
+
+func BenchmarkADF(b *testing.B) {
+	xs := benchSeries(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ADF(xs, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPeriodogram(b *testing.B) {
+	xs := benchSeries(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Periodogram(xs)
+	}
+}
+
+func BenchmarkDetectSeasonalities(b *testing.B) {
+	xs := benchSeries(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = DetectSeasonalities(xs, 3)
+	}
+}
+
+func BenchmarkHiguchiFD(b *testing.B) {
+	xs := benchSeries(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = HiguchiFD(xs, 10)
+	}
+}

@@ -1,0 +1,346 @@
+package tsa
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// FFT computes the discrete Fourier transform of x using an iterative
+// radix-2 Cooley-Tukey algorithm. The input is zero-padded to the next
+// power of two.
+func FFT(x []complex128) []complex128 {
+	n := 1
+	for n < len(x) {
+		n <<= 1
+	}
+	a := make([]complex128, n)
+	copy(a, x)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := a[i+j]
+				v := a[i+j+half] * w
+				a[i+j] = u + v
+				a[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+	return a
+}
+
+// Periodogram returns frequencies (cycles per sample, in (0, 0.5]) and
+// the corresponding spectral power of the mean-removed series. The DC
+// component is excluded.
+func Periodogram(xs []float64) (freqs, power []float64) {
+	n := len(xs)
+	if n < 4 {
+		return nil, nil
+	}
+	var mean float64
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(n)
+	cx := make([]complex128, n)
+	for i, v := range xs {
+		cx[i] = complex(v-mean, 0)
+	}
+	spec := FFT(cx)
+	nfft := len(spec)
+	half := nfft / 2
+	freqs = make([]float64, 0, half)
+	power = make([]float64, 0, half)
+	for k := 1; k <= half; k++ {
+		f := float64(k) / float64(nfft)
+		p := cmplx.Abs(spec[k])
+		freqs = append(freqs, f)
+		power = append(power, p*p/float64(n))
+	}
+	return freqs, power
+}
+
+// SeasonalComponent is one detected seasonality: its period in samples
+// and its relative spectral strength (power normalized by total power).
+type SeasonalComponent struct {
+	Period   int
+	Strength float64
+}
+
+// DetectSeasonalities finds up to maxComponents seasonal periods by
+// locating local maxima of the periodogram that exceed meanPower×
+// threshold, collapsing near-duplicate periods. Periods of 1 sample or
+// longer than half the series are discarded. Results are ordered by
+// descending strength.
+func DetectSeasonalities(xs []float64, maxComponents int) []SeasonalComponent {
+	freqs, power := Periodogram(xs)
+	if len(freqs) == 0 {
+		return nil
+	}
+	var total float64
+	for _, p := range power {
+		total += p
+	}
+	if total <= 0 {
+		return nil
+	}
+	meanP := total / float64(len(power))
+	// A peak must both stand out locally (threshold × mean power) and
+	// carry a material share of total power (strengthFloor); white
+	// noise routinely produces 4-6× mean bins that carry ~1% of power.
+	const (
+		threshold     = 4.0
+		strengthFloor = 0.02
+	)
+
+	type peak struct {
+		period   int
+		strength float64
+	}
+	var peaks []peak
+	for i := 1; i < len(power)-1; i++ {
+		if power[i] <= power[i-1] || power[i] < power[i+1] {
+			continue
+		}
+		if power[i] < threshold*meanP || power[i] < strengthFloor*total {
+			continue
+		}
+		period := int(math.Round(1 / freqs[i]))
+		if period < 2 || period > len(xs)/2 {
+			continue
+		}
+		peaks = append(peaks, peak{period, power[i] / total})
+	}
+	sort.Slice(peaks, func(i, j int) bool { return peaks[i].strength > peaks[j].strength })
+
+	var out []SeasonalComponent
+	for _, p := range peaks {
+		dup := false
+		for _, o := range out {
+			// Collapse peaks within 10% of an accepted period, or exact
+			// low-order harmonics (ratio 2..4 within 5%).
+			ratio := float64(p.period) / float64(o.Period)
+			if ratio < 1 {
+				ratio = 1 / ratio
+			}
+			r := math.Round(ratio)
+			if (r == 1 && math.Abs(ratio-1) < 0.1) ||
+				(r >= 2 && r <= 4 && math.Abs(ratio-r) < 0.05) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		out = append(out, SeasonalComponent{Period: p.period, Strength: p.strength})
+		if len(out) >= maxComponents {
+			break
+		}
+	}
+	return out
+}
+
+// WeightedSeasonalities aggregates per-client periodograms into global
+// seasonal components: each client's detected components are pooled,
+// weighted by the client's share of total observations, and merged by
+// period (within 10%). This implements the "weighted periodogram
+// across all clients" of Section 4.2.1(4). Results are ordered by
+// descending pooled strength, at most maxComponents returned.
+func WeightedSeasonalities(clients [][]float64, maxComponents int) []SeasonalComponent {
+	var total float64
+	for _, c := range clients {
+		total += float64(len(c))
+	}
+	if total == 0 {
+		return nil
+	}
+	type agg struct {
+		periodSum float64
+		weight    float64
+	}
+	var pools []agg
+	for _, c := range clients {
+		w := float64(len(c)) / total
+		for _, sc := range DetectSeasonalities(c, maxComponents*2) {
+			placed := false
+			for i := range pools {
+				meanPeriod := pools[i].periodSum / pools[i].weight
+				if math.Abs(float64(sc.Period)-meanPeriod) <= 0.1*meanPeriod {
+					pools[i].periodSum += float64(sc.Period) * w * sc.Strength
+					pools[i].weight += w * sc.Strength
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				pools = append(pools, agg{float64(sc.Period) * w * sc.Strength, w * sc.Strength})
+			}
+		}
+	}
+	out := make([]SeasonalComponent, 0, len(pools))
+	for _, p := range pools {
+		out = append(out, SeasonalComponent{
+			Period:   int(math.Round(p.periodSum / p.weight)),
+			Strength: p.weight,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Strength > out[j].Strength })
+	if len(out) > maxComponents {
+		out = out[:maxComponents]
+	}
+	return out
+}
+
+// HiguchiFD estimates the fractal dimension of xs with Higuchi's
+// method over curve scales k = 1..kMax. Values near 1 indicate smooth
+// (trending) series; values near 2 indicate noise-like series. This is
+// the "Fractal dimension analysis of target" meta-feature.
+func HiguchiFD(xs []float64, kMax int) float64 {
+	n := len(xs)
+	if n < 10 {
+		return math.NaN()
+	}
+	if kMax < 2 {
+		kMax = 2
+	}
+	if kMax > n/2 {
+		kMax = n / 2
+	}
+	var logk, logl []float64
+	for k := 1; k <= kMax; k++ {
+		var lk float64
+		for m := 0; m < k; m++ {
+			var lm float64
+			steps := (n - 1 - m) / k
+			if steps < 1 {
+				continue
+			}
+			for i := 1; i <= steps; i++ {
+				lm += math.Abs(xs[m+i*k] - xs[m+(i-1)*k])
+			}
+			norm := float64(n-1) / (float64(steps) * float64(k))
+			lk += lm * norm / float64(k)
+		}
+		lk /= float64(k)
+		if lk <= 0 {
+			continue
+		}
+		logk = append(logk, math.Log(1/float64(k)))
+		logl = append(logl, math.Log(lk))
+	}
+	if len(logk) < 2 {
+		return math.NaN()
+	}
+	// Least-squares slope of log L(k) against log(1/k).
+	var mx, my float64
+	for i := range logk {
+		mx += logk[i]
+		my += logl[i]
+	}
+	mx /= float64(len(logk))
+	my /= float64(len(logl))
+	var num, den float64
+	for i := range logk {
+		num += (logk[i] - mx) * (logl[i] - my)
+		den += (logk[i] - mx) * (logk[i] - mx)
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}
+
+// MovingAverage returns the centred moving average of xs with the
+// given window (window must be ≥ 1); the ends are averaged over the
+// available window portion, so the output has the same length.
+func MovingAverage(xs []float64, window int) []float64 {
+	n := len(xs)
+	out := make([]float64, n)
+	if window < 1 {
+		window = 1
+	}
+	half := window / 2
+	for i := 0; i < n; i++ {
+		lo := i - half
+		hi := i + (window - 1 - half)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		var s float64
+		for j := lo; j <= hi; j++ {
+			s += xs[j]
+		}
+		out[i] = s / float64(hi-lo+1)
+	}
+	return out
+}
+
+// Decompose splits xs into trend (centred moving average over the
+// seasonal period), seasonal (period-averaged detrended values), and
+// residual components, in the style of classical additive
+// decomposition.
+func Decompose(xs []float64, period int) (trend, seasonal, resid []float64) {
+	n := len(xs)
+	if period < 2 || period > n/2 {
+		trend = MovingAverage(xs, max(3, n/10))
+		seasonal = make([]float64, n)
+		resid = make([]float64, n)
+		for i := range xs {
+			resid[i] = xs[i] - trend[i]
+		}
+		return trend, seasonal, resid
+	}
+	trend = MovingAverage(xs, period)
+	detr := make([]float64, n)
+	for i := range xs {
+		detr[i] = xs[i] - trend[i]
+	}
+	means := make([]float64, period)
+	counts := make([]int, period)
+	for i, v := range detr {
+		means[i%period] += v
+		counts[i%period]++
+	}
+	var grand float64
+	for i := range means {
+		if counts[i] > 0 {
+			means[i] /= float64(counts[i])
+		}
+		grand += means[i]
+	}
+	grand /= float64(period)
+	seasonal = make([]float64, n)
+	resid = make([]float64, n)
+	for i := range xs {
+		seasonal[i] = means[i%period] - grand
+		resid[i] = xs[i] - trend[i] - seasonal[i]
+	}
+	return trend, seasonal, resid
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
