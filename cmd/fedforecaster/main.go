@@ -39,6 +39,10 @@ func main() {
 		metaName = flag.String("metamodel", "Random Forest", "meta-model classifier name")
 		showMeta = flag.Bool("show-metafeatures", false, "print the Table 1 aggregated meta-features and exit")
 		quiet    = flag.Bool("quiet", false, "suppress phase trace")
+
+		callTimeout = flag.Duration("call-timeout", 0, "per-client call deadline, e.g. 30s (0 = wait forever)")
+		maxRetries  = flag.Int("max-retries", 0, "retries per failed client call (exponential backoff + jitter)")
+		minClients  = flag.Float64("min-client-fraction", 0, "quorum fraction in (0,1]: rounds succeed when ≥ this fraction of clients respond (0 = require all)")
 	)
 	flag.Parse()
 
@@ -66,10 +70,16 @@ func main() {
 		return
 	}
 
+	if *minClients < 0 || *minClients > 1 {
+		log.Fatalf("-min-client-fraction %v out of range (0,1]", *minClients)
+	}
 	opts := fedforecaster.Options{
-		Iterations: *iters,
-		TopK:       *topK,
-		Seed:       *seed,
+		Iterations:        *iters,
+		TopK:              *topK,
+		Seed:              *seed,
+		CallTimeout:       *callTimeout,
+		MaxRetries:        *maxRetries,
+		MinClientFraction: *minClients,
 	}
 	if !*quiet {
 		opts.Trace = func(ev string) { fmt.Println("  [trace]", ev) }

@@ -93,6 +93,16 @@ type Options struct {
 	// meta-features with a Laplace mechanism before aggregation
 	// (smaller = noisier = more private).
 	PrivacyEpsilon float64
+	// CallTimeout bounds each per-client protocol call (0 = wait
+	// forever); on the TCP transport it is enforced on the socket.
+	CallTimeout time.Duration
+	// MaxRetries retries failed client calls with exponential backoff
+	// before dropping the client from the round (default 0).
+	MaxRetries int
+	// MinClientFraction ∈ (0, 1] tolerates stragglers and crashes: a
+	// round succeeds when at least this fraction of clients respond and
+	// aggregates over the survivors. 0 requires full participation.
+	MinClientFraction float64
 	// Trace receives phase events when non-nil.
 	Trace func(string)
 }
@@ -116,6 +126,9 @@ func (o Options) engineConfig() core.EngineConfig {
 	cfg.FeatureSelection = !o.DisableFeatureSelection
 	cfg.ExogChannels = o.ExogChannels
 	cfg.PrivacyEpsilon = o.PrivacyEpsilon
+	cfg.CallTimeout = o.CallTimeout
+	cfg.MaxRetries = o.MaxRetries
+	cfg.MinClientFraction = o.MinClientFraction
 	cfg.Trace = o.Trace
 	return cfg
 }

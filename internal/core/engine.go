@@ -51,7 +51,24 @@ type EngineConfig struct {
 	// noisier). TCP clients configure this themselves via
 	// ClientNode.WithPrivacy.
 	PrivacyEpsilon float64
-	// Trace receives phase events (Figure 1's I-IV) when non-nil.
+	// CallTimeout bounds each client call of every protocol round
+	// (0 = wait forever). On the TCP transport it is enforced on the
+	// socket itself, so a hung client cannot stall a round.
+	CallTimeout time.Duration
+	// MaxRetries is the number of additional attempts per failed client
+	// call (transient faults are retried with exponential backoff +
+	// jitter; dead clients fail fast).
+	MaxRetries int
+	// MinClientFraction ∈ (0, 1] enables partial participation: a round
+	// succeeds when at least ⌈fraction·N⌉ clients respond, and every
+	// aggregation (meta-features, importances, Equation 1 losses) runs
+	// over the survivors only. 0 (the default) keeps the paper's
+	// full-participation semantics: any client failing its call — after
+	// retries — aborts the run.
+	MinClientFraction float64
+	// Trace receives phase events (Figure 1's I-IV) when non-nil, plus
+	// resilience events ("client N dropped from <kind> round: ...") for
+	// clients excluded from a quorum round.
 	Trace func(event string)
 }
 
@@ -129,10 +146,7 @@ func (e *Engine) RunWithServer(srv *fl.Server) (*Result, error) {
 		return nil, errors.New("core: no clients connected")
 	}
 	start := time.Now()
-	trace := e.Cfg.Trace
-	if trace == nil {
-		trace = func(string) {}
-	}
+	trace := e.trace()
 
 	// Phase I: meta-features computed on each client, aggregated on the
 	// server (Figure 1-I, Algorithm 1 lines 3-8).
@@ -240,9 +254,47 @@ func (e *Engine) RunWithServer(srv *fl.Server) (*Result, error) {
 	return result, nil
 }
 
-// collectMetaFeatures runs the two Phase-I rounds.
+// trace returns the configured trace sink or a no-op.
+func (e *Engine) trace() func(string) {
+	if e.Cfg.Trace != nil {
+		return e.Cfg.Trace
+	}
+	return func(string) {}
+}
+
+// quorum builds the round policy from the engine's resilience knobs.
+// MinClientFraction = 0 maps to full participation (fraction 1.0).
+func (e *Engine) quorum(kind string) fl.QuorumConfig {
+	trace := e.trace()
+	frac := e.Cfg.MinClientFraction
+	if frac <= 0 {
+		frac = 1
+	}
+	return fl.QuorumConfig{
+		MinFraction: frac,
+		Retry: fl.RetryPolicy{
+			Timeout:    e.Cfg.CallTimeout,
+			MaxRetries: e.Cfg.MaxRetries,
+		},
+		OnDrop: func(client int, err error) {
+			trace(fmt.Sprintf("client %d dropped from %s round: %v", client, kind, err))
+		},
+	}
+}
+
+// broadcast runs one protocol round under the engine's resilience
+// policy, returning the survivors' responses and client indices.
+func (e *Engine) broadcast(srv *fl.Server, req fl.Message) ([]fl.Message, []int, error) {
+	return srv.BroadcastQuorum(req, e.quorum(req.Kind))
+}
+
+// collectMetaFeatures runs the two Phase-I rounds. Under partial
+// participation each round aggregates over whichever clients answered
+// it; the value range and fingerprints of dropped clients are simply
+// absent from the global aggregate, mirroring Flower's per-round
+// sampling.
 func (e *Engine) collectMetaFeatures(srv *fl.Server) (metafeat.Aggregated, error) {
-	rangeResps, err := srv.Broadcast(fl.NewMessage(kindRange))
+	rangeResps, _, err := e.broadcast(srv, fl.NewMessage(kindRange))
 	if err != nil {
 		return metafeat.Aggregated{}, roundTripError("range", err)
 	}
@@ -258,7 +310,7 @@ func (e *Engine) collectMetaFeatures(srv *fl.Server) (metafeat.Aggregated, error
 	req := fl.NewMessage(kindMetaFeatures)
 	req.Scalars["lo"] = lo
 	req.Scalars["hi"] = hi
-	resps, err := srv.Broadcast(req)
+	resps, _, err := e.broadcast(srv, req)
 	if err != nil {
 		return metafeat.Aggregated{}, roundTripError("metafeatures", err)
 	}
@@ -273,7 +325,7 @@ func (e *Engine) collectMetaFeatures(srv *fl.Server) (metafeat.Aggregated, error
 func (e *Engine) selectFeatures(srv *fl.Server, eng *features.Engineer) ([]int, error) {
 	req := fl.NewMessage(kindImportances)
 	encodeEngineer(&req, eng)
-	resps, err := srv.Broadcast(req)
+	resps, _, err := e.broadcast(srv, req)
 	if err != nil {
 		return nil, roundTripError("importances", err)
 	}
@@ -300,7 +352,10 @@ func (e *Engine) globalLossKind(srv *fl.Server, eng *features.Engineer, cfg sear
 	encodeEngineer(&req, eng)
 	encodeConfig(&req, cfg)
 	encodeSplits(&req, e.Cfg.Splits)
-	resps, err := srv.Broadcast(req)
+	// Equation 1 over the quorum survivors: each response carries its
+	// own size, so the weighted sum is exactly the dense computation
+	// restricted to the responder indices.
+	resps, _, err := e.broadcast(srv, req)
 	if err != nil {
 		return 0, roundTripError(kind, err)
 	}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fedforecaster/internal/fl"
+	"fedforecaster/internal/timeseries"
+)
+
+// chaosServer wires the engine's in-process client nodes through a
+// ChaosTransport so a full Engine.Run can be fault-injected.
+func chaosServer(clients []*timeseries.Series, seed int64) (*fl.Server, *fl.ChaosTransport) {
+	nodes := make([]fl.Client, len(clients))
+	for i, s := range clients {
+		nodes[i] = NewClientNode(s, seed+int64(i)*101)
+	}
+	chaos := fl.NewChaos(fl.NewInProc(nodes), seed)
+	return fl.NewServer(chaos), chaos
+}
+
+// resilientConfig is smallEngineConfig plus the resilience knobs under
+// test.
+func resilientConfig(seed int64, minFraction float64, retries int) EngineConfig {
+	cfg := smallEngineConfig(seed)
+	cfg.Iterations = 4
+	cfg.MinClientFraction = minFraction
+	cfg.MaxRetries = retries
+	return cfg
+}
+
+// runUnderChaos builds a 4-client dataset, applies the fault schedule,
+// and runs the engine, returning the result and the trace.
+func runUnderChaos(t *testing.T, cfg EngineConfig, faults map[int]fl.ClientFaults) (*Result, []string, error) {
+	t.Helper()
+	clients := fedDataset(t, 1600, 4, 11)
+	srv, chaos := chaosServer(clients, cfg.Seed)
+	defer srv.Close()
+	for i, f := range faults {
+		chaos.SetFaults(i, f)
+	}
+	var mu sync.Mutex
+	var events []string
+	cfg.Trace = func(ev string) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}
+	eng := NewEngine(nil, cfg)
+	res, err := eng.RunWithServer(srv)
+	return res, events, err
+}
+
+// TestEngineRunSurvivesClientDeath is the acceptance scenario: 1 of 4
+// clients dies mid-optimization under quorum 0.5, the run completes,
+// and the result is deterministic for a fixed seed.
+func TestEngineRunSurvivesClientDeath(t *testing.T) {
+	// DieAfter 3: the client answers the two Phase-I rounds and the
+	// feature-selection round, then dies during Phase III's federated
+	// optimization loop.
+	faults := map[int]fl.ClientFaults{2: {DieAfter: 3}}
+
+	run := func() (*Result, []string) {
+		cfg := resilientConfig(5, 0.5, 0)
+		res, events, err := runUnderChaos(t, cfg, faults)
+		if err != nil {
+			t.Fatalf("run with dead client failed: %v", err)
+		}
+		return res, events
+	}
+
+	res1, events := run()
+	if res1.Iterations != 4 {
+		t.Errorf("iterations = %d, want 4", res1.Iterations)
+	}
+	if res1.BestConfig.Algorithm == "" || math.IsNaN(res1.TestMSE) || res1.TestMSE <= 0 {
+		t.Errorf("degenerate result: %+v", res1)
+	}
+	// The drop is observable in the trace.
+	dropped := false
+	for _, ev := range events {
+		if strings.Contains(ev, "client 2 dropped") {
+			dropped = true
+			break
+		}
+	}
+	if !dropped {
+		t.Errorf("no drop trace event for client 2; trace = %q", events)
+	}
+
+	// Determinism: an identical run produces the identical result.
+	res2, _ := run()
+	if res1.BestConfig.String() != res2.BestConfig.String() {
+		t.Errorf("best config not deterministic: %v vs %v", res1.BestConfig, res2.BestConfig)
+	}
+	if res1.BestValidLoss != res2.BestValidLoss {
+		t.Errorf("valid loss not deterministic: %v vs %v", res1.BestValidLoss, res2.BestValidLoss)
+	}
+	if res1.TestMSE != res2.TestMSE {
+		t.Errorf("test MSE not deterministic: %v vs %v", res1.TestMSE, res2.TestMSE)
+	}
+	if len(res1.History) != len(res2.History) {
+		t.Fatalf("history lengths differ: %d vs %d", len(res1.History), len(res2.History))
+	}
+	for i := range res1.History {
+		if res1.History[i].GlobalLoss != res2.History[i].GlobalLoss {
+			t.Errorf("history[%d] loss differs: %v vs %v", i, res1.History[i].GlobalLoss, res2.History[i].GlobalLoss)
+		}
+	}
+}
+
+// TestEngineRunMasksTransientFaults: with bounded retry, a client that
+// flaps transiently is indistinguishable from a healthy one — the run
+// matches a fault-free run exactly.
+func TestEngineRunMasksTransientFaults(t *testing.T) {
+	cfgClean := resilientConfig(9, 0, 0)
+	clean, _, err := runUnderChaos(t, cfgClean, nil)
+	if err != nil {
+		t.Fatalf("fault-free run: %v", err)
+	}
+
+	cfgFaulty := resilientConfig(9, 0, 3) // full participation + retries
+	cfgFaulty.CallTimeout = 5 * time.Second
+	faulty, _, err := runUnderChaos(t, cfgFaulty, map[int]fl.ClientFaults{
+		1: {FailFirst: 2},                    // flaps at startup
+		3: {TransientProb: 0.2},              // flaps at random
+		0: {Delay: time.Millisecond, DelayProb: 1}, // straggles a little
+	})
+	if err != nil {
+		t.Fatalf("run with transient faults failed: %v", err)
+	}
+	if clean.BestConfig.String() != faulty.BestConfig.String() {
+		t.Errorf("retry did not mask transients: best %v vs %v", clean.BestConfig, faulty.BestConfig)
+	}
+	if clean.BestValidLoss != faulty.BestValidLoss {
+		t.Errorf("retry did not mask transients: loss %v vs %v", clean.BestValidLoss, faulty.BestValidLoss)
+	}
+	if clean.TestMSE != faulty.TestMSE {
+		t.Errorf("retry did not mask transients: MSE %v vs %v", clean.TestMSE, faulty.TestMSE)
+	}
+}
+
+// TestEngineRunDelayedClientWithinDeadline: a straggler slower than its
+// peers but inside the call deadline stays in the quorum.
+func TestEngineRunDelayedClientWithinDeadline(t *testing.T) {
+	cfg := resilientConfig(13, 0.5, 0)
+	cfg.CallTimeout = 5 * time.Second
+	cfg.Iterations = 2
+	res, events, err := runUnderChaos(t, cfg, map[int]fl.ClientFaults{
+		1: {Delay: 3 * time.Millisecond, DelayProb: 1},
+	})
+	if err != nil {
+		t.Fatalf("run with straggler failed: %v", err)
+	}
+	if res.BestConfig.Algorithm == "" {
+		t.Error("no best config")
+	}
+	for _, ev := range events {
+		if strings.Contains(ev, "dropped") {
+			t.Errorf("straggler within deadline was dropped: %q", ev)
+		}
+	}
+}
+
+// TestEngineRunQuorumNotMet: when too many clients die the run fails
+// loudly with the quorum error rather than limping on.
+func TestEngineRunQuorumNotMet(t *testing.T) {
+	cfg := resilientConfig(17, 0.9, 0)
+	_, _, err := runUnderChaos(t, cfg, map[int]fl.ClientFaults{
+		0: {DieAfter: 1},
+		3: {DieAfter: 1},
+	})
+	if err == nil {
+		t.Fatal("run succeeded with 2 of 4 clients dead at quorum 0.9")
+	}
+	if !errors.Is(err, fl.ErrQuorumNotMet) {
+		t.Errorf("err = %v, want ErrQuorumNotMet in chain", err)
+	}
+}
+
+// TestEngineRunFullParticipationStillAborts: the paper's Equation 1
+// regime (MinClientFraction = 0) keeps the original abort-on-failure
+// contract.
+func TestEngineRunFullParticipationStillAborts(t *testing.T) {
+	cfg := resilientConfig(19, 0, 0)
+	_, _, err := runUnderChaos(t, cfg, map[int]fl.ClientFaults{2: {DieAfter: 1}})
+	if err == nil {
+		t.Fatal("full-participation run survived a dead client")
+	}
+	if !errors.Is(err, fl.ErrQuorumNotMet) {
+		t.Errorf("err = %v, want ErrQuorumNotMet in chain", err)
+	}
+}

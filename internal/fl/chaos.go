@@ -1,0 +1,179 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrTransient marks an injected retryable fault: the call failed but
+// the client may answer a retry. The retry layer (CallWithPolicy)
+// retries these; permanent faults (ErrClientDead) fail fast.
+var ErrTransient = errors.New("fl: transient fault")
+
+// ClientFaults is one client's fault schedule inside a ChaosTransport.
+// All probabilities are per call and drawn from the client's private
+// seeded RNG, so a fixed (seed, schedule, call sequence) triple yields
+// a fixed fault trace — chaos tests are reproducible.
+type ClientFaults struct {
+	// Delay is slept before the call is forwarded whenever the delay
+	// draw fires (DelayProb ≥ 1 means every call) — a straggler.
+	Delay     time.Duration
+	DelayProb float64
+	// FailFirst makes the first N calls fail with ErrTransient before
+	// reaching the client — a deterministic flap that bounded retry
+	// should mask.
+	FailFirst int
+	// TransientProb fails a call with ErrTransient at random.
+	TransientProb float64
+	// DieAfter kills the client permanently once it has been called
+	// DieAfter times: every later call returns ErrClientDead without
+	// reaching the client (0 = immortal).
+	DieAfter int
+	// CorruptProb garbles the response payload: every scalar becomes
+	// NaN and the kind is tagged, modelling a client whose answer
+	// cannot be trusted.
+	CorruptProb float64
+}
+
+// chaosClient is the per-client fault state. Its mutex serializes fate
+// decisions so the RNG draw sequence — three draws per call — is
+// deterministic even under concurrent broadcasts.
+type chaosClient struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	faults ClientFaults
+	calls  int
+	dead   bool
+}
+
+// ChaosTransport wraps any Transport and injects per-client faults:
+// delays, transient errors, permanent death, and response corruption.
+// It is the fault-injection substrate for resilience tests — wrap an
+// InProcTransport to chaos-test a full Engine.Run, or a TCPTransport to
+// chaos-test the wire path.
+type ChaosTransport struct {
+	inner Transport
+	seed  int64
+
+	mu      sync.Mutex
+	clients map[int]*chaosClient
+}
+
+// NewChaos wraps the transport. Each client's fault RNG is derived from
+// the seed and the client index, so schedules are independent and
+// reproducible.
+func NewChaos(inner Transport, seed int64) *ChaosTransport {
+	return &ChaosTransport{inner: inner, seed: seed, clients: map[int]*chaosClient{}}
+}
+
+// client returns (creating if needed) the fault state for client i.
+func (t *ChaosTransport) client(i int) *chaosClient {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.clients[i]
+	if !ok {
+		c = &chaosClient{rng: rand.New(rand.NewSource(t.seed ^ (int64(i)+1)*0x9e3779b9))}
+		t.clients[i] = c
+	}
+	return c
+}
+
+// SetFaults installs (replaces) client i's fault schedule.
+func (t *ChaosTransport) SetFaults(i int, f ClientFaults) {
+	c := t.client(i)
+	c.mu.Lock()
+	c.faults = f
+	c.mu.Unlock()
+}
+
+// Kill marks client i permanently dead right now — a crash between
+// rounds, as opposed to DieAfter's crash on a call count.
+func (t *ChaosTransport) Kill(i int) {
+	c := t.client(i)
+	c.mu.Lock()
+	c.dead = true
+	c.mu.Unlock()
+}
+
+// Calls reports how many times client i has been called through the
+// chaos layer (including faulted calls) — test observability.
+func (t *ChaosTransport) Calls(i int) int {
+	c := t.client(i)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+// Dead reports whether client i has died.
+func (t *ChaosTransport) Dead(i int) bool {
+	c := t.client(i)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// NumClients delegates to the wrapped transport.
+func (t *ChaosTransport) NumClients() int { return t.inner.NumClients() }
+
+// Close delegates to the wrapped transport.
+func (t *ChaosTransport) Close() error { return t.inner.Close() }
+
+// Call decides the call's fate under the client's fault schedule, then
+// (unless faulted) forwards to the wrapped transport. Exactly three RNG
+// draws happen per call regardless of which faults are configured, so
+// enabling one fault never perturbs another's schedule.
+func (t *ChaosTransport) Call(i int, req Message) (Message, error) {
+	c := t.client(i)
+
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return Message{}, fmt.Errorf("fl: chaos client %d: %w", i, ErrClientDead)
+	}
+	c.calls++
+	f := c.faults
+	dDelay, dTransient, dCorrupt := c.rng.Float64(), c.rng.Float64(), c.rng.Float64()
+	if f.DieAfter > 0 && c.calls > f.DieAfter {
+		c.dead = true
+		c.mu.Unlock()
+		return Message{}, fmt.Errorf("fl: chaos client %d: %w", i, ErrClientDead)
+	}
+	delay := time.Duration(0)
+	if f.Delay > 0 && dDelay < f.DelayProb {
+		delay = f.Delay
+	}
+	transient := c.calls <= f.FailFirst || dTransient < f.TransientProb
+	corrupt := dCorrupt < f.CorruptProb
+	c.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if transient {
+		return Message{}, fmt.Errorf("fl: chaos client %d: %w", i, ErrTransient)
+	}
+	resp, err := t.inner.Call(i, req)
+	if err != nil {
+		return Message{}, err
+	}
+	if corrupt {
+		resp = corruptMessage(resp)
+	}
+	return resp, nil
+}
+
+// corruptMessage returns a garbled copy of the response: all scalars
+// NaN and a tagged kind, leaving the original maps unshared.
+func corruptMessage(m Message) Message {
+	out := m
+	out.Kind = m.Kind + "!corrupt"
+	out.Scalars = make(map[string]float64, len(m.Scalars))
+	for k := range m.Scalars {
+		out.Scalars[k] = math.NaN()
+	}
+	return out
+}

@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 )
 
 // Message is the unit of client↔server communication: a kind tag plus
@@ -56,9 +57,9 @@ type Client interface {
 // → Properties. Both transports share it.
 func Dispatch(c Client, req Message) (Message, error) {
 	switch {
-	case len(req.Kind) >= 4 && req.Kind[:4] == "fit/":
+	case strings.HasPrefix(req.Kind, "fit/"):
 		return c.Fit(req)
-	case len(req.Kind) >= 5 && req.Kind[:5] == "eval/":
+	case strings.HasPrefix(req.Kind, "eval/"):
 		return c.Evaluate(req)
 	default:
 		return c.Properties(req)
@@ -94,6 +95,7 @@ func (s *Server) Call(i int, req Message) (Message, error) {
 // Broadcast sends the request to every client concurrently and
 // collects responses in client order. The first error aborts the
 // round (federated AutoML needs every client's loss to aggregate).
+// For rounds that should tolerate failures, use BroadcastQuorum.
 func (s *Server) Broadcast(req Message) ([]Message, error) {
 	n := s.transport.NumClients()
 	out := make([]Message, n)
@@ -142,7 +144,8 @@ func (s *Server) SampleClients(fraction float64, rng *rand.Rand) []int {
 
 // CallSubset sends the request to the listed clients concurrently and
 // returns their responses in the given order. Like Broadcast, the
-// first error aborts the round.
+// first error aborts the round; CallSubsetQuorum is the
+// failure-tolerant variant.
 func (s *Server) CallSubset(clients []int, req Message) ([]Message, error) {
 	out := make([]Message, len(clients))
 	errs := make([]error, len(clients))

@@ -52,6 +52,38 @@ func TestDispatchRouting(t *testing.T) {
 	}
 }
 
+// TestDispatchTable covers the routing convention exhaustively,
+// including empty and shorter-than-prefix kinds that used to rely on
+// manual length-guarded slicing.
+func TestDispatchTable(t *testing.T) {
+	cases := []struct {
+		kind string
+		want string
+	}{
+		{"fit/round1", "fitted"},
+		{"eval/round1", "evaluated"},
+		{"metafeatures", "props"},
+		{"", "props"},          // empty kind
+		{"f", "props"},         // shorter than any prefix
+		{"fit", "props"},       // prefix without slash
+		{"fit/", "fitted"},     // bare prefix
+		{"eval", "props"},      // prefix without slash
+		{"eva", "props"},       // short of the eval/ prefix
+		{"eval/", "evaluated"}, // bare prefix
+		{"refit/x", "props"},   // prefix must anchor at the start
+		{"FIT/x", "props"},     // case-sensitive
+	}
+	for _, c := range cases {
+		resp, err := Dispatch(&echoClient{id: 1}, NewMessage(c.kind))
+		if err != nil {
+			t.Fatalf("kind %q: %v", c.kind, err)
+		}
+		if resp.Kind != c.want {
+			t.Errorf("kind %q routed to %q, want %q", c.kind, resp.Kind, c.want)
+		}
+	}
+}
+
 func TestInProcBroadcast(t *testing.T) {
 	clients := []Client{&echoClient{id: 0}, &echoClient{id: 1}, &echoClient{id: 2}}
 	srv := NewServer(NewInProc(clients))

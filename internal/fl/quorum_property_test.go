@@ -1,0 +1,197 @@
+package fl
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// subset gathers the elements of v at the given indices.
+func subset(v []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for k, i := range idx {
+		out[k] = v[i]
+	}
+	return out
+}
+
+// denseWeightedLossRestricted is an independent reference: the Equation
+// 1 sum over ALL clients with an indicator restricting it to the
+// survivor set — written as the dense computation a non-federated
+// implementation would do.
+func denseWeightedLossRestricted(losses, sizes []float64, keep map[int]bool) float64 {
+	var num, den float64
+	for i := range losses {
+		if !keep[i] {
+			continue
+		}
+		num += sizes[i] * losses[i]
+		den += sizes[i]
+	}
+	return num / den
+}
+
+// denseFedAvgRestricted is the analogous reference for FedAvg.
+func denseFedAvgRestricted(weights [][]float64, sizes []float64, keep map[int]bool, dim int) []float64 {
+	out := make([]float64, dim)
+	var den float64
+	for i := range weights {
+		if keep[i] {
+			den += sizes[i]
+		}
+	}
+	for i, w := range weights {
+		if !keep[i] {
+			continue
+		}
+		for j := range w {
+			out[j] += sizes[i] / den * w[j]
+		}
+	}
+	return out
+}
+
+// randomSubset draws a non-empty survivor subset of {0..n-1}.
+func randomSubset(n int, rng *rand.Rand) []int {
+	for {
+		var idx []int
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.6 {
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) > 0 {
+			return idx
+		}
+	}
+}
+
+// TestWeightedLossSurvivorSubsetProperty: aggregating the survivors'
+// losses agrees with the dense computation restricted to the survivor
+// indices, for random instances and random subsets.
+func TestWeightedLossSurvivorSubsetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		losses := make([]float64, n)
+		sizes := make([]float64, n)
+		for i := range losses {
+			losses[i] = rng.Float64() * 10
+			sizes[i] = 1 + rng.Float64()*999
+		}
+		idx := randomSubset(n, rng)
+		keep := map[int]bool{}
+		for _, i := range idx {
+			keep[i] = true
+		}
+		got, err := WeightedLoss(subset(losses, idx), subset(sizes, idx))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := denseWeightedLossRestricted(losses, sizes, keep)
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("trial %d (survivors %v): WeightedLoss = %v, dense restricted = %v", trial, idx, got, want)
+		}
+	}
+}
+
+// TestFedAvgSurvivorSubsetProperty: the analogous property for FedAvg
+// over flat weight vectors.
+func TestFedAvgSurvivorSubsetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(10)
+		dim := 1 + rng.Intn(8)
+		weights := make([][]float64, n)
+		sizes := make([]float64, n)
+		for i := range weights {
+			w := make([]float64, dim)
+			for j := range w {
+				w[j] = rng.NormFloat64()
+			}
+			weights[i] = w
+			sizes[i] = 1 + rng.Float64()*99
+		}
+		idx := randomSubset(n, rng)
+		keep := map[int]bool{}
+		for _, i := range idx {
+			keep[i] = true
+		}
+		sub := make([][]float64, len(idx))
+		for k, i := range idx {
+			sub[k] = weights[i]
+		}
+		got, err := FedAvg(sub, subset(sizes, idx))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := denseFedAvgRestricted(weights, sizes, keep, dim)
+		for j := range got {
+			if math.Abs(got[j]-want[j]) > 1e-9*(1+math.Abs(want[j])) {
+				t.Fatalf("trial %d dim %d: FedAvg = %v, dense restricted = %v", trial, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// failSetTransport fails exactly the clients in its set.
+type failSetTransport struct {
+	n    int
+	fail map[int]bool
+}
+
+func (f *failSetTransport) NumClients() int { return f.n }
+func (f *failSetTransport) Close() error    { return nil }
+func (f *failSetTransport) Call(i int, req Message) (Message, error) {
+	if f.fail[i] {
+		return Message{}, errors.New("down")
+	}
+	resp := NewMessage("ok")
+	resp.Scalars["id"] = float64(i)
+	return resp, nil
+}
+
+// TestQuorumThresholdProperty: for random instances, a round with
+// fewer survivors than ⌈fraction·N⌉ always fails with ErrQuorumNotMet,
+// and a round meeting the threshold always succeeds with exactly the
+// alive clients as survivors.
+func TestQuorumThresholdProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(10)
+		frac := 0.05 + rng.Float64()*0.95
+		numFail := rng.Intn(n + 1)
+		fail := map[int]bool{}
+		for _, i := range rng.Perm(n)[:numFail] {
+			fail[i] = true
+		}
+		srv := NewServer(&failSetTransport{n: n, fail: fail})
+		q := QuorumConfig{MinFraction: frac}
+		resps, idx, err := srv.BroadcastQuorum(NewMessage("props"), q)
+		alive := n - numFail
+		if alive < q.need(n) {
+			if !errors.Is(err, ErrQuorumNotMet) {
+				t.Fatalf("trial %d (n=%d frac=%v fail=%d): err = %v, want ErrQuorumNotMet", trial, n, frac, numFail, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d (n=%d frac=%v fail=%d): unexpected error %v", trial, n, frac, numFail, err)
+		}
+		if len(idx) != alive || len(resps) != alive {
+			t.Fatalf("trial %d: %d survivors, want %d", trial, len(idx), alive)
+		}
+		for k, c := range idx {
+			if fail[c] {
+				t.Fatalf("trial %d: failed client %d in survivor set %v", trial, c, idx)
+			}
+			if k > 0 && idx[k-1] >= c {
+				t.Fatalf("trial %d: survivor indices not ascending: %v", trial, idx)
+			}
+			if resps[k].Scalars["id"] != float64(c) {
+				t.Fatalf("trial %d: response/index misalignment at %d", trial, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrClientDead marks a client as permanently unreachable: its
+// connection is gone (TCP) or its fault schedule killed it (chaos).
+// CallWithPolicy fails fast on it instead of burning retries.
+var ErrClientDead = errors.New("fl: client dead")
+
+// ErrCallTimeout marks a client call that exceeded its per-attempt
+// deadline.
+var ErrCallTimeout = errors.New("fl: call timed out")
+
+// ErrQuorumNotMet is returned by the quorum round helpers when fewer
+// clients than the configured fraction responded.
+var ErrQuorumNotMet = errors.New("fl: quorum not met")
+
+// RetryPolicy bounds one logical client call: a per-attempt deadline
+// plus bounded retries with exponential backoff and jitter. The zero
+// value means a single attempt with no deadline — the original
+// behaviour of Server.Broadcast.
+type RetryPolicy struct {
+	// Timeout is the per-attempt deadline (0 = wait forever). The TCP
+	// transport additionally enforces it on the socket via SetDeadline,
+	// which also unblocks the watchdog goroutine used here.
+	Timeout time.Duration
+	// MaxRetries is the number of additional attempts after the first
+	// (0 = no retry). Permanent failures (ErrClientDead) are never
+	// retried.
+	MaxRetries int
+	// BaseBackoff is the sleep before the first retry (default 5ms);
+	// it doubles per attempt up to MaxBackoff (default 250ms), with
+	// ±50% jitter to avoid retry stampedes.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+// withDefaults fills the backoff defaults.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 5 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 250 * time.Millisecond
+	}
+	return p
+}
+
+// backoff returns the jittered sleep before retry attempt n (1-based):
+// min(base·2^(n−1), max) scaled by a uniform factor in [0.5, 1.0). The
+// top-level math/rand source is goroutine-safe, and jitter affects
+// timing only — never which clients end up in the quorum.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return time.Duration(float64(d) * (0.5 + 0.5*rand.Float64()))
+}
+
+// callOnce performs a single attempt against client i, bounded by the
+// timeout. The transport call runs in a watchdog goroutine: if it hangs
+// past the deadline we return ErrCallTimeout and the goroutine drains
+// in the background (the TCP transport's own SetDeadline guarantees it
+// eventually unblocks; in-process clients are expected to return).
+func callOnce(t Transport, i int, req Message, timeout time.Duration) (Message, error) {
+	if timeout <= 0 {
+		return t.Call(i, req)
+	}
+	type result struct {
+		msg Message
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		m, err := t.Call(i, req)
+		ch <- result{m, err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.msg, r.err
+	case <-timer.C:
+		return Message{}, fmt.Errorf("fl: client %d: %w after %v", i, ErrCallTimeout, timeout)
+	}
+}
+
+// CallWithPolicy performs one logical call to client i under the
+// policy: each attempt is deadline-bounded, failed attempts are retried
+// with exponential backoff + jitter, and permanently dead clients fail
+// fast. It returns the last error when all attempts fail.
+func CallWithPolicy(t Transport, i int, req Message, p RetryPolicy) (Message, error) {
+	p = p.withDefaults()
+	var lastErr error
+	for attempt := 0; attempt <= p.MaxRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(p.backoff(attempt))
+		}
+		msg, err := callOnce(t, i, req, p.Timeout)
+		if err == nil {
+			return msg, nil
+		}
+		lastErr = err
+		if errors.Is(err, ErrClientDead) {
+			break // permanent: retrying cannot help
+		}
+	}
+	return Message{}, lastErr
+}
+
+// QuorumConfig controls a partial-participation round: how hard to try
+// per client (Retry), what fraction of the addressed clients must
+// answer for the round to count, and an observer for drops.
+type QuorumConfig struct {
+	// MinFraction ∈ (0, 1] is the fraction of addressed clients that
+	// must respond (at least one). 0 or out-of-range means 1.0 — full
+	// participation, the paper's Equation 1 regime.
+	MinFraction float64
+	// Retry is the per-client call policy.
+	Retry RetryPolicy
+	// OnDrop, when non-nil, observes each client that failed its
+	// logical call. It is invoked sequentially in ascending position
+	// order after the round's barrier, so it needs no locking.
+	OnDrop func(client int, err error)
+}
+
+// need returns the survivor count required out of n addressed clients.
+func (q QuorumConfig) need(n int) int {
+	f := q.MinFraction
+	if f <= 0 || f > 1 {
+		f = 1
+	}
+	k := int(math.Ceil(f * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// BroadcastQuorum sends the request to every client under the quorum
+// config and returns the survivors' responses plus their client
+// indices (ascending). It fails with ErrQuorumNotMet when fewer than
+// ⌈MinFraction·N⌉ clients respond. Aggregate over the survivors with
+// WeightedLoss/FedAvg using the returned indices.
+func (s *Server) BroadcastQuorum(req Message, q QuorumConfig) ([]Message, []int, error) {
+	n := s.transport.NumClients()
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	return s.CallSubsetQuorum(all, req, q)
+}
+
+// CallSubsetQuorum is BroadcastQuorum over an explicit client subset
+// (e.g. one drawn by SampleClients). Responses and indices are returned
+// in the subset's order, restricted to survivors.
+func (s *Server) CallSubsetQuorum(clients []int, req Message, q QuorumConfig) ([]Message, []int, error) {
+	n := len(clients)
+	if n == 0 {
+		return nil, nil, ErrNoClients
+	}
+	out := make([]Message, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i, c int) {
+			defer wg.Done()
+			out[i], errs[i] = CallWithPolicy(s.transport, c, req, q.Retry)
+		}(i, c)
+	}
+	wg.Wait()
+
+	msgs := make([]Message, 0, n)
+	idx := make([]int, 0, n)
+	var firstDrop error
+	for i, c := range clients {
+		if errs[i] == nil {
+			msgs = append(msgs, out[i])
+			idx = append(idx, c)
+			continue
+		}
+		if firstDrop == nil {
+			firstDrop = fmt.Errorf("client %d: %v", c, errs[i])
+		}
+		if q.OnDrop != nil {
+			q.OnDrop(c, errs[i])
+		}
+	}
+	if need := q.need(n); len(idx) < need {
+		return nil, nil, fmt.Errorf("%w: %d/%d clients responded, need %d (first drop: %v)",
+			ErrQuorumNotMet, len(idx), n, need, firstDrop)
+	}
+	return msgs, idx, nil
+}

@@ -10,10 +10,18 @@ import (
 
 // TCPTransport is the distributed deployment path: clients dial the
 // server (as in Flower) and serve requests over a gob-encoded stream.
+//
+// The connection table is guarded by mu: Call, NumClients, Close and
+// SetCallTimeout may run concurrently (quorum broadcasts race with
+// shutdown), so every access to conns/callTimeout takes the lock.
 type TCPTransport struct {
 	listener net.Listener
 	mu       sync.Mutex
 	conns    []*tcpConn
+	// callTimeout, when > 0, bounds each Call via net.Conn.SetDeadline
+	// so a hung or partitioned client errors out instead of blocking a
+	// round forever.
+	callTimeout time.Duration
 }
 
 type tcpConn struct {
@@ -21,6 +29,18 @@ type tcpConn struct {
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 	mu   sync.Mutex
+	// dead marks a connection whose gob stream failed. A gob stream is
+	// unframed: after any mid-message error (timeout, reset) the decoder
+	// state is unrecoverable, so the connection is closed and every
+	// later call fails fast with ErrClientDead.
+	dead bool
+}
+
+// markDeadLocked closes the connection and poisons it; callers hold
+// c.mu.
+func (c *tcpConn) markDeadLocked() {
+	c.dead = true
+	c.conn.Close()
 }
 
 // envelope frames a message with an error string for the return path.
@@ -73,27 +93,66 @@ func ListenTCPWithAddr(addr string, expectClients int, timeout time.Duration, ad
 // Addr returns the listener address (useful with ephemeral ports).
 func (t *TCPTransport) Addr() string { return t.listener.Addr().String() }
 
-// NumClients reports the connected client count.
-func (t *TCPTransport) NumClients() int { return len(t.conns) }
+// SetCallTimeout installs a per-call deadline (0 disables). Safe to
+// call concurrently with in-flight rounds; it applies from the next
+// Call.
+func (t *TCPTransport) SetCallTimeout(d time.Duration) {
+	t.mu.Lock()
+	t.callTimeout = d
+	t.mu.Unlock()
+}
 
-// Call sends the request to client i and waits for its reply. Calls to
-// the same client serialize; calls to distinct clients proceed in
-// parallel.
+// NumClients reports the connected client count.
+func (t *TCPTransport) NumClients() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.conns)
+}
+
+// Call sends the request to client i and waits for its reply, bounded
+// by the configured call timeout. Calls to the same client serialize;
+// calls to distinct clients proceed in parallel. A connection whose
+// stream fails (timeout, peer death) is dropped: it is closed and every
+// later call to it returns ErrClientDead immediately, so quorum rounds
+// skip it without waiting.
 func (t *TCPTransport) Call(i int, req Message) (Message, error) {
+	t.mu.Lock()
 	if i < 0 || i >= len(t.conns) {
+		t.mu.Unlock()
 		return Message{}, fmt.Errorf("fl: client index %d out of range", i)
 	}
 	c := t.conns[i]
+	timeout := t.callTimeout
+	t.mu.Unlock()
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.dead {
+		return Message{}, fmt.Errorf("fl: client %d: %w", i, ErrClientDead)
+	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		c.markDeadLocked()
+		return Message{}, fmt.Errorf("fl: client %d: set deadline: %v: %w", i, err, ErrClientDead)
+	}
 	if err := c.enc.Encode(envelope{Msg: req}); err != nil {
-		return Message{}, fmt.Errorf("fl: send to client %d: %w", i, err)
+		c.markDeadLocked()
+		return Message{}, fmt.Errorf("fl: send to client %d: %v: %w", i, err, ErrClientDead)
 	}
 	var resp envelope
 	if err := c.dec.Decode(&resp); err != nil {
-		return Message{}, fmt.Errorf("fl: receive from client %d: %w", i, err)
+		c.markDeadLocked()
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return Message{}, fmt.Errorf("fl: receive from client %d: %v (%w): %w", i, err, ErrCallTimeout, ErrClientDead)
+		}
+		return Message{}, fmt.Errorf("fl: receive from client %d: %v: %w", i, err, ErrClientDead)
 	}
 	if resp.Err != "" {
+		// An application-level error: the stream stays in sync and the
+		// client remains healthy, so this is retryable.
 		return Message{}, fmt.Errorf("fl: client %d error: %s", i, resp.Err)
 	}
 	return resp.Msg, nil
@@ -102,11 +161,15 @@ func (t *TCPTransport) Call(i int, req Message) (Message, error) {
 // Close terminates all client connections and the listener.
 func (t *TCPTransport) Close() error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	for _, c := range t.conns {
-		c.conn.Close()
+	conns := append([]*tcpConn(nil), t.conns...)
+	ln := t.listener
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.mu.Lock()
+		c.markDeadLocked()
+		c.mu.Unlock()
 	}
-	return t.listener.Close()
+	return ln.Close()
 }
 
 // ServeTCP connects a client to the server at addr and serves requests

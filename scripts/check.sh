@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# check.sh — the tier-1+ verification gate.
+#
+# Runs the tier-1 checks (build + full test suite) and then the race
+# detector over the whole module. The federated substrate performs
+# concurrent quorum broadcasts racing against retries, timeouts, and
+# transport shutdown, so -race is part of the bar, not an extra.
+#
+# Usage:
+#   scripts/check.sh          # build, test, race-test everything
+#   scripts/check.sh -quick   # race-test only the concurrency-heavy
+#                             # packages (fl, core) for fast iteration
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+if [[ "${1:-}" == "-quick" ]]; then
+    echo "==> go test -race ./internal/fl/... ./internal/core/... (quick)"
+    go test -race ./internal/fl/... ./internal/core/...
+else
+    echo "==> go test -race ./..."
+    go test -race ./...
+fi
+
+echo "OK"
