@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"fedforecaster"
 	"fedforecaster/internal/metafeat"
@@ -34,7 +35,7 @@ func main() {
 		scale    = flag.Float64("scale", 0.05, "length scale for synthetic datasets")
 		iters    = flag.Int("iters", 24, "optimization budget in federated rounds")
 		topK     = flag.Int("topk", 3, "meta-model recommendations forming the search space")
-		seed     = flag.Int64("seed", 1, "random seed")
+		seed     = flag.Int64("seed", 1, "random seed driving every stochastic component (0 = seed from the clock)")
 		kbPath   = flag.String("kb", "", "knowledge base JSON enabling meta-learning")
 		metaName = flag.String("metamodel", "Random Forest", "meta-model classifier name")
 		showMeta = flag.Bool("show-metafeatures", false, "print the Table 1 aggregated meta-features and exit")
@@ -45,6 +46,14 @@ func main() {
 		minClients  = flag.Float64("min-client-fraction", 0, "quorum fraction in (0,1]: rounds succeed when ≥ this fraction of clients respond (0 = require all)")
 	)
 	flag.Parse()
+
+	// Nondeterminism is an explicit opt-in, and lives only here in
+	// cmd/: library code must receive its seed. fedlint's seededrand
+	// and walltime rules enforce that split.
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+		fmt.Printf("seeding from clock: -seed %d reproduces this run\n", *seed)
+	}
 
 	if *list {
 		for _, d := range synth.EvalDatasets() {

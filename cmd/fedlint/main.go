@@ -1,0 +1,154 @@
+// Command fedlint runs FedForecaster's project-specific static
+// analyzers over the module: determinism (seededrand, walltime),
+// numeric safety (floateq), and error hygiene (errdrop, panicfree).
+//
+// Usage:
+//
+//	go run ./cmd/fedlint ./...            # analyze the whole module
+//	go run ./cmd/fedlint ./internal/...   # restrict to a subtree
+//	go run ./cmd/fedlint -list            # describe the rules
+//	go run ./cmd/fedlint -fixture internal/lint/testdata/src/errdrop
+//	                                      # lint one standalone fixture dir
+//
+// The whole module is always loaded and type-checked (analyzers need
+// full type information); patterns restrict which packages are
+// analyzed. Exit status: 0 clean, 1 findings, 2 usage or load error.
+//
+// Suppress a deliberate violation on its line (or the line above):
+//
+//	//lint:allow <rule> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fedforecaster/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root (directory containing go.mod)")
+	list := flag.Bool("list", false, "list the registered rules and exit")
+	fixture := flag.String("fixture", "", "lint one standalone package directory (no go.mod) instead of the module")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fedlint [-root dir] [-fixture dir] [-list] [packages]\n\n"+
+			"Patterns are module-relative: ./... (default), ./internal/..., ./internal/fl.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	if *fixture != "" {
+		os.Exit(runFixture(*fixture, analyzers))
+	}
+
+	fset, pkgs, modPath, err := lint.LoadModule(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedlint:", err)
+		os.Exit(2)
+	}
+
+	selected, err := selectPackages(pkgs, modPath, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedlint:", err)
+		os.Exit(2)
+	}
+
+	findings := lint.Run(fset, selected, analyzers, lint.DefaultConfig(modPath))
+	for _, f := range findings {
+		fmt.Println(f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "fedlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// runFixture lints one standalone package directory — the golden
+// fixtures under internal/lint/testdata — under the same policy the
+// driver tests use: the default config with the fixture's import path
+// registered as a walltime-scoped package. Returns the process exit
+// code (0 clean, 1 findings, 2 load error).
+func runFixture(dir string, analyzers []*lint.Analyzer) int {
+	fset := token.NewFileSet()
+	ip := "fixture/" + filepath.Base(filepath.Clean(dir))
+	pkg, err := lint.LoadDir(fset, dir, ip)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedlint:", err)
+		return 2
+	}
+	cfg := lint.DefaultConfig("fixture")
+	cfg.WalltimePkgs[ip] = true
+	findings := lint.Run(fset, []*lint.Package{pkg}, analyzers, cfg)
+	for _, f := range findings {
+		fmt.Println(f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "fedlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// selectPackages filters the loaded packages by the command-line
+// patterns. No patterns (or "./...") selects everything.
+func selectPackages(pkgs []*lint.Package, modPath string, patterns []string) ([]*lint.Package, error) {
+	if len(patterns) == 0 {
+		return pkgs, nil
+	}
+	keep := map[string]bool{}
+	for _, pat := range patterns {
+		ip, recursive, err := patternToImportPath(pat, modPath)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pkgs {
+			if p.ImportPath == ip || (recursive && (ip == modPath || strings.HasPrefix(p.ImportPath, ip+"/"))) {
+				keep[p.ImportPath] = true
+			}
+		}
+	}
+	var out []*lint.Package
+	for _, p := range pkgs {
+		if keep[p.ImportPath] {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no packages match %v", patterns)
+	}
+	return out, nil
+}
+
+// patternToImportPath maps a module-relative pattern like
+// ./internal/... to its import-path prefix and whether it is
+// recursive.
+func patternToImportPath(pat, modPath string) (ip string, recursive bool, err error) {
+	p := filepath.ToSlash(pat)
+	if rest, ok := strings.CutSuffix(p, "/..."); ok {
+		recursive = true
+		p = rest
+	}
+	p = strings.TrimPrefix(p, "./")
+	switch {
+	case p == "" || p == ".":
+		return modPath, recursive, nil
+	case strings.HasPrefix(p, modPath):
+		return p, recursive, nil
+	case strings.HasPrefix(p, "/"):
+		return "", false, fmt.Errorf("absolute pattern %q not supported; use module-relative ./dir/...", pat)
+	default:
+		return modPath + "/" + p, recursive, nil
+	}
+}

@@ -65,6 +65,7 @@ func main() {
 	srv := fl.NewServer(lr.tr)
 	defer func() {
 		close(stop)
+		//lint:allow errdrop example teardown at exit; close error is unactionable
 		srv.Close()
 	}()
 	fmt.Printf("%d clients connected\n\n", srv.NumClients())

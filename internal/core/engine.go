@@ -109,6 +109,11 @@ type Result struct {
 type Engine struct {
 	Meta *metalearn.MetaModel // nil disables meta-learning (cold start)
 	Cfg  EngineConfig
+
+	// jitter is the seeded backoff-jitter stream shared by every retry
+	// of every round, derived from Cfg.Seed so fault-injection runs
+	// replay identically. Nil (zero-value Engine) disables jitter.
+	jitter *fl.Jitter
 }
 
 // NewEngine returns an engine with the given meta-model (may be nil)
@@ -120,7 +125,7 @@ func NewEngine(meta *metalearn.MetaModel, cfg EngineConfig) *Engine {
 	if cfg.Iterations <= 0 {
 		cfg.Iterations = 24
 	}
-	return &Engine{Meta: meta, Cfg: cfg}
+	return &Engine{Meta: meta, Cfg: cfg, jitter: fl.NewJitter(cfg.Seed + 13)}
 }
 
 // Run executes Algorithm 1 against in-process clients built from the
@@ -145,7 +150,7 @@ func (e *Engine) RunWithServer(srv *fl.Server) (*Result, error) {
 	if srv.NumClients() == 0 {
 		return nil, errors.New("core: no clients connected")
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow walltime TimeBudget is a wall-clock contract with the user (Algorithm 1's T)
 	trace := e.trace()
 
 	// Phase I: meta-features computed on each client, aggregated on the
@@ -216,6 +221,7 @@ func (e *Engine) RunWithServer(srv *fl.Server) (*Result, error) {
 	for iter := 0; iter < e.Cfg.Iterations; iter++ {
 		// Always evaluate at least one configuration so a budget spent
 		// on the earlier phases still yields a deployable model.
+		//lint:allow walltime TimeBudget is a wall-clock contract with the user (Algorithm 1's T)
 		if iter > 0 && e.Cfg.TimeBudget > 0 && time.Since(start) > e.Cfg.TimeBudget {
 			break
 		}
@@ -232,6 +238,7 @@ func (e *Engine) RunWithServer(srv *fl.Server) (*Result, error) {
 		}
 		opt.Observe(cfg, loss)
 		result.History = append(result.History, IterationRecord{
+			//lint:allow walltime Elapsed is diagnostic wall-clock telemetry, not part of the replayable result
 			Config: cfg, GlobalLoss: loss, Elapsed: time.Since(start),
 		})
 	}
@@ -275,6 +282,7 @@ func (e *Engine) quorum(kind string) fl.QuorumConfig {
 		Retry: fl.RetryPolicy{
 			Timeout:    e.Cfg.CallTimeout,
 			MaxRetries: e.Cfg.MaxRetries,
+			Jitter:     e.jitter,
 		},
 		OnDrop: func(client int, err error) {
 			trace(fmt.Sprintf("client %d dropped from %s round: %v", client, kind, err))

@@ -126,8 +126,8 @@ func TestEngineRunMasksTransientFaults(t *testing.T) {
 	cfgFaulty := resilientConfig(9, 0, 3) // full participation + retries
 	cfgFaulty.CallTimeout = 5 * time.Second
 	faulty, _, err := runUnderChaos(t, cfgFaulty, map[int]fl.ClientFaults{
-		1: {FailFirst: 2},                    // flaps at startup
-		3: {TransientProb: 0.2},              // flaps at random
+		1: {FailFirst: 2},                          // flaps at startup
+		3: {TransientProb: 0.2},                    // flaps at random
 		0: {Delay: time.Millisecond, DelayProb: 1}, // straggles a little
 	})
 	if err != nil {

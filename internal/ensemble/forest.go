@@ -109,6 +109,7 @@ func (f *RandomForestRegressor) Fit(x [][]float64, y []float64) error {
 // Predict averages tree predictions.
 func (f *RandomForestRegressor) Predict(x [][]float64) []float64 {
 	if len(f.trees) == 0 {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("ensemble: RandomForestRegressor.Predict before Fit")
 	}
 	out := make([]float64, len(x))
@@ -219,6 +220,7 @@ func (f *RandomForestClassifier) distFor(row []float64) []float64 {
 // Predict returns the soft-vote majority label per row.
 func (f *RandomForestClassifier) Predict(x [][]float64) []string {
 	if len(f.trees) == 0 {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("ensemble: RandomForestClassifier.Predict before Fit")
 	}
 	out := make([]string, len(x))
@@ -231,6 +233,7 @@ func (f *RandomForestClassifier) Predict(x [][]float64) []string {
 // PredictProba returns per-row label probabilities.
 func (f *RandomForestClassifier) PredictProba(x [][]float64) []map[string]float64 {
 	if len(f.trees) == 0 {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("ensemble: RandomForestClassifier.Predict before Fit")
 	}
 	out := make([]map[string]float64, len(x))

@@ -82,6 +82,7 @@ func (g *GradientBoostingRegressor) Fit(x [][]float64, y []float64) error {
 // Predict sums the stage predictions.
 func (g *GradientBoostingRegressor) Predict(x [][]float64) []float64 {
 	if g.trees == nil {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("ensemble: GradientBoostingRegressor.Predict before Fit")
 	}
 	lr := g.Opts.normalized().LearningRate
@@ -189,6 +190,7 @@ func (g *GradientBoostingClassifier) scoresFor(row []float64) []float64 {
 // Predict returns the most likely label per row.
 func (g *GradientBoostingClassifier) Predict(x [][]float64) []string {
 	if g.trees == nil {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("ensemble: GradientBoostingClassifier.Predict before Fit")
 	}
 	out := make([]string, len(x))
@@ -201,6 +203,7 @@ func (g *GradientBoostingClassifier) Predict(x [][]float64) []string {
 // PredictProba returns per-row label probabilities.
 func (g *GradientBoostingClassifier) PredictProba(x [][]float64) []map[string]float64 {
 	if g.trees == nil {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("ensemble: GradientBoostingClassifier.Predict before Fit")
 	}
 	out := make([]map[string]float64, len(x))

@@ -108,6 +108,7 @@ func (m *LGBMClassifier) scoresFor(row []float64) []float64 {
 // Predict returns the most likely label per row.
 func (m *LGBMClassifier) Predict(x [][]float64) []string {
 	if m.trees == nil {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("ensemble: LGBMClassifier.Predict before Fit")
 	}
 	out := make([]string, len(x))
@@ -120,6 +121,7 @@ func (m *LGBMClassifier) Predict(x [][]float64) []string {
 // PredictProba returns per-row label probabilities.
 func (m *LGBMClassifier) PredictProba(x [][]float64) []map[string]float64 {
 	if m.trees == nil {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("ensemble: LGBMClassifier.Predict before Fit")
 	}
 	out := make([]map[string]float64, len(x))
@@ -242,6 +244,7 @@ func (m *CatBoostClassifier) scoresFor(row []float64) []float64 {
 // Predict returns the most likely label per row.
 func (m *CatBoostClassifier) Predict(x [][]float64) []string {
 	if m.trees == nil {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("ensemble: CatBoostClassifier.Predict before Fit")
 	}
 	out := make([]string, len(x))
@@ -254,6 +257,7 @@ func (m *CatBoostClassifier) Predict(x [][]float64) []string {
 // PredictProba returns per-row label probabilities.
 func (m *CatBoostClassifier) PredictProba(x [][]float64) []map[string]float64 {
 	if m.trees == nil {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("ensemble: CatBoostClassifier.Predict before Fit")
 	}
 	out := make([]map[string]float64, len(x))

@@ -96,6 +96,7 @@ func (m *XGBRegressor) Fit(x [][]float64, y []float64) error {
 // Predict sums the boosted trees.
 func (m *XGBRegressor) Predict(x [][]float64) []float64 {
 	if m.trees == nil {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("ensemble: XGBRegressor.Predict before Fit")
 	}
 	lr := m.Opts.normalized().LearningRate
@@ -215,6 +216,7 @@ func (m *XGBClassifier) scoresFor(row []float64) []float64 {
 // Predict returns the most likely label per row.
 func (m *XGBClassifier) Predict(x [][]float64) []string {
 	if m.trees == nil {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("ensemble: XGBClassifier.Predict before Fit")
 	}
 	out := make([]string, len(x))
@@ -227,6 +229,7 @@ func (m *XGBClassifier) Predict(x [][]float64) []string {
 // PredictProba returns per-row label probabilities.
 func (m *XGBClassifier) PredictProba(x [][]float64) []map[string]float64 {
 	if m.trees == nil {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("ensemble: XGBClassifier.Predict before Fit")
 	}
 	out := make([]map[string]float64, len(x))

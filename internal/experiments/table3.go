@@ -201,7 +201,11 @@ func (r *Table3Report) computeStats() {
 		}
 	}
 	if len(ff) > 1 {
-		r.PvsRandom = stats.WilcoxonSignedRank(ff, rs).PValue
+		// On error (paired samples diverged) the p-value stays NaN and
+		// renders as "-", per this function's contract.
+		if res, err := stats.WilcoxonSignedRank(ff, rs); err == nil {
+			r.PvsRandom = res.PValue
+		}
 	}
 	if len(nb) > 1 {
 		// Pair FedForecaster with N-BEATS over the rows where N-BEATS ran.
@@ -211,7 +215,9 @@ func (r *Table3Report) computeStats() {
 				ffPaired = append(ffPaired, row.FedForecaster)
 			}
 		}
-		r.PvsNBeats = stats.WilcoxonSignedRank(ffPaired, nb).PValue
+		if res, err := stats.WilcoxonSignedRank(ffPaired, nb); err == nil {
+			r.PvsNBeats = res.PValue
+		}
 	}
 }
 

@@ -258,14 +258,21 @@ func TestCallSubsetQuorum(t *testing.T) {
 }
 
 func TestRetryPolicyBackoff(t *testing.T) {
-	p := RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 40 * time.Millisecond}.withDefaults()
-	// Jitter scales into [0.5, 1.0)·min(base·2^(n−1), max).
+	// With a seeded Jitter, backoff scales into [0.5, 1.0)·min(base·2^(n−1), max).
+	p := RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 40 * time.Millisecond, Jitter: NewJitter(1)}.withDefaults()
 	for attempt, wantMax := range map[int]time.Duration{1: 10 * time.Millisecond, 2: 20 * time.Millisecond, 3: 40 * time.Millisecond, 10: 40 * time.Millisecond} {
 		for k := 0; k < 20; k++ {
 			d := p.backoff(attempt)
 			if d < wantMax/2 || d >= wantMax {
 				t.Fatalf("backoff(%d) = %v, want in [%v, %v)", attempt, d, wantMax/2, wantMax)
 			}
+		}
+	}
+	// Without a Jitter the schedule is the exact exponential sequence.
+	bare := RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 40 * time.Millisecond}.withDefaults()
+	for attempt, want := range map[int]time.Duration{1: 10 * time.Millisecond, 2: 20 * time.Millisecond, 3: 40 * time.Millisecond, 10: 40 * time.Millisecond} {
+		if d := bare.backoff(attempt); d != want {
+			t.Fatalf("unjittered backoff(%d) = %v, want %v", attempt, d, want)
 		}
 	}
 	// Defaults fill in.
@@ -312,16 +319,16 @@ func TestQuorumNeed(t *testing.T) {
 		n    int
 		want int
 	}{
-		{0, 4, 4},     // zero → full participation
-		{1, 4, 4},     // all
-		{0.5, 4, 2},   // half
-		{0.5, 5, 3},   // ceil
-		{0.01, 4, 1},  // at least one
-		{1.5, 4, 4},   // out of range → full
-		{-0.5, 4, 4},  // out of range → full
-		{0.25, 1, 1},  // single client
-		{0.75, 8, 6},  // ceil(6)
-		{0.76, 8, 7},  // strict ceil
+		{0, 4, 4},    // zero → full participation
+		{1, 4, 4},    // all
+		{0.5, 4, 2},  // half
+		{0.5, 5, 3},  // ceil
+		{0.01, 4, 1}, // at least one
+		{1.5, 4, 4},  // out of range → full
+		{-0.5, 4, 4}, // out of range → full
+		{0.25, 1, 1}, // single client
+		{0.75, 8, 6}, // ceil(6)
+		{0.76, 8, 7}, // strict ceil
 	}
 	for _, c := range cases {
 		if got := (QuorumConfig{MinFraction: c.frac}).need(c.n); got != c.want {

@@ -22,10 +22,38 @@ var ErrCallTimeout = errors.New("fl: call timed out")
 // clients than the configured fraction responded.
 var ErrQuorumNotMet = errors.New("fl: quorum not met")
 
+// Jitter is a seeded, concurrency-safe source of backoff jitter
+// factors. Sharing one *Jitter across the copies of a RetryPolicy
+// (it travels by pointer) gives a single replayable stream: two
+// policies built with equal seeds produce identical backoff
+// sequences, so fault-injection traces replay bit-identically.
+type Jitter struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+// NewJitter returns a jitter stream seeded for replay. Library code
+// must thread a seed from its configuration (e.g. EngineConfig.Seed);
+// only command-line entry points may seed from the clock.
+func NewJitter(seed int64) *Jitter {
+	return &Jitter{r: rand.New(rand.NewSource(seed))}
+}
+
+// factor draws the next uniform factor in [0, 1). Safe for
+// concurrent use; concurrent callers interleave draws from the one
+// seeded stream, which perturbs timing only — never quorum
+// membership.
+func (j *Jitter) factor() float64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.r.Float64()
+}
+
 // RetryPolicy bounds one logical client call: a per-attempt deadline
-// plus bounded retries with exponential backoff and jitter. The zero
-// value means a single attempt with no deadline — the original
-// behaviour of Server.Broadcast.
+// plus bounded retries with exponential backoff and optional seeded
+// jitter. The zero value means a single attempt with no deadline and
+// deterministic (unjittered) backoff — the original behaviour of
+// Server.Broadcast.
 type RetryPolicy struct {
 	// Timeout is the per-attempt deadline (0 = wait forever). The TCP
 	// transport additionally enforces it on the socket via SetDeadline,
@@ -36,10 +64,14 @@ type RetryPolicy struct {
 	// retried.
 	MaxRetries int
 	// BaseBackoff is the sleep before the first retry (default 5ms);
-	// it doubles per attempt up to MaxBackoff (default 250ms), with
-	// ±50% jitter to avoid retry stampedes.
+	// it doubles per attempt up to MaxBackoff (default 250ms).
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+	// Jitter, when non-nil, scales each backoff by a uniform factor in
+	// [0.5, 1.0) drawn from its seeded stream, de-synchronizing retry
+	// stampedes while staying replayable. Nil means no jitter: the
+	// backoff sequence is the pure exponential schedule.
+	Jitter *Jitter
 }
 
 // withDefaults fills the backoff defaults.
@@ -53,10 +85,12 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
-// backoff returns the jittered sleep before retry attempt n (1-based):
-// min(base·2^(n−1), max) scaled by a uniform factor in [0.5, 1.0). The
-// top-level math/rand source is goroutine-safe, and jitter affects
-// timing only — never which clients end up in the quorum.
+// backoff returns the sleep before retry attempt n (1-based):
+// min(base·2^(n−1), max), scaled by a uniform factor in [0.5, 1.0)
+// drawn from the policy's seeded Jitter when one is set. Jitter
+// affects timing only — never which clients end up in the quorum —
+// and, being seeded, replays identically across runs (fedlint's
+// seededrand rule forbids the global math/rand source here).
 func (p RetryPolicy) backoff(attempt int) time.Duration {
 	d := p.BaseBackoff
 	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
@@ -65,7 +99,10 @@ func (p RetryPolicy) backoff(attempt int) time.Duration {
 	if d > p.MaxBackoff {
 		d = p.MaxBackoff
 	}
-	return time.Duration(float64(d) * (0.5 + 0.5*rand.Float64()))
+	if p.Jitter == nil {
+		return d
+	}
+	return time.Duration(float64(d) * (0.5 + 0.5*p.Jitter.factor()))
 }
 
 // callOnce performs a single attempt against client i, bounded by the

@@ -1,0 +1,105 @@
+package fl
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterministicAcrossPolicies is the acceptance test for
+// the seeded-jitter refactor: two policies built with equal seeds
+// must produce identical jittered backoff sequences, so a replayed
+// fault-injection run sleeps exactly like the original.
+func TestBackoffDeterministicAcrossPolicies(t *testing.T) {
+	mk := func(seed int64) RetryPolicy {
+		return RetryPolicy{
+			BaseBackoff: 5 * time.Millisecond,
+			MaxBackoff:  250 * time.Millisecond,
+			Jitter:      NewJitter(seed),
+		}.withDefaults()
+	}
+	p1, p2 := mk(42), mk(42)
+	var seq1, seq2 []time.Duration
+	for attempt := 1; attempt <= 32; attempt++ {
+		seq1 = append(seq1, p1.backoff(attempt))
+		seq2 = append(seq2, p2.backoff(attempt))
+	}
+	for i := range seq1 {
+		if seq1[i] != seq2[i] {
+			t.Fatalf("attempt %d: equal seeds diverged: %v vs %v", i+1, seq1[i], seq2[i])
+		}
+	}
+
+	// A different seed must (with overwhelming probability over 32
+	// draws) produce a different sequence — the jitter is real.
+	p3 := mk(43)
+	same := true
+	for attempt := 1; attempt <= 32; attempt++ {
+		if p3.backoff(attempt) != seq1[attempt-1] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical jitter sequences")
+	}
+}
+
+// TestBackoffBoundsWithJitter checks every jittered backoff stays
+// within [0.5, 1.0)·min(base·2^(n−1), max).
+func TestBackoffBoundsWithJitter(t *testing.T) {
+	p := RetryPolicy{
+		BaseBackoff: 4 * time.Millisecond,
+		MaxBackoff:  64 * time.Millisecond,
+		Jitter:      NewJitter(7),
+	}.withDefaults()
+	for attempt := 1; attempt <= 20; attempt++ {
+		full := p.BaseBackoff << (attempt - 1)
+		if attempt > 10 || full > p.MaxBackoff { // avoid shift overflow reasoning; cap
+			full = p.MaxBackoff
+		}
+		got := p.backoff(attempt)
+		lo := time.Duration(float64(full) * 0.5)
+		if got < lo || got >= full {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v)", attempt, got, lo, full)
+		}
+	}
+}
+
+// TestBackoffNoJitterIsPureExponential locks the zero-value
+// behaviour: without a Jitter the schedule is the exact exponential
+// sequence, bit-identical every run.
+func TestBackoffNoJitterIsPureExponential(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 3 * time.Millisecond, MaxBackoff: 24 * time.Millisecond}.withDefaults()
+	want := []time.Duration{
+		3 * time.Millisecond, 6 * time.Millisecond, 12 * time.Millisecond,
+		24 * time.Millisecond, 24 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.backoff(i + 1); got != w {
+			t.Fatalf("attempt %d: got %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestJitterConcurrencySafe exercises the shared jitter stream from
+// concurrent goroutines under -race: concurrent draws must be safe
+// (ordering may interleave; values must all be valid factors).
+func TestJitterConcurrencySafe(t *testing.T) {
+	j := NewJitter(99)
+	p := RetryPolicy{BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond, Jitter: j}.withDefaults()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for n := 1; n <= 50; n++ {
+				d := p.backoff(1 + n%4)
+				if d <= 0 {
+					t.Error("non-positive backoff", d)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -40,6 +40,7 @@ type tcpConn struct {
 // c.mu.
 func (c *tcpConn) markDeadLocked() {
 	c.dead = true
+	//lint:allow errdrop connection is being poisoned; close error adds nothing to ErrClientDead
 	c.conn.Close()
 }
 
@@ -72,12 +73,14 @@ func ListenTCPWithAddr(addr string, expectClients int, timeout time.Duration, ad
 	for len(t.conns) < expectClients {
 		if dl, ok := ln.(*net.TCPListener); ok {
 			if err := dl.SetDeadline(deadline); err != nil {
+				//lint:allow errdrop accept already failed; listener close error would mask the root cause
 				ln.Close()
 				return nil, err
 			}
 		}
 		conn, err := ln.Accept()
 		if err != nil {
+			//lint:allow errdrop accept already failed; listener close error would mask the root cause
 			ln.Close()
 			return nil, fmt.Errorf("fl: accept (have %d/%d clients): %w", len(t.conns), expectClients, err)
 		}
@@ -184,6 +187,7 @@ func ServeTCP(addr string, client Client, stop <-chan struct{}) error {
 	if stop != nil {
 		go func() {
 			<-stop
+			//lint:allow errdrop shutdown signal path; the in-flight call observes the closed socket
 			conn.Close()
 		}()
 	}

@@ -19,6 +19,7 @@ type Matrix struct {
 // NewMatrix allocates a zeroed rows×cols matrix.
 func NewMatrix(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
+		//lint:allow panicfree dimension mismatch is a caller bug; gonum-style shape invariant
 		panic(fmt.Sprintf("linalg: invalid dimensions %dx%d", rows, cols))
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
@@ -32,6 +33,7 @@ func FromRows(rows [][]float64) *Matrix {
 	m := NewMatrix(len(rows), len(rows[0]))
 	for i, r := range rows {
 		if len(r) != m.Cols {
+			//lint:allow panicfree dimension mismatch is a caller bug; gonum-style shape invariant
 			panic(fmt.Sprintf("linalg: ragged rows: row %d has %d cols, want %d", i, len(r), m.Cols))
 		}
 		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
@@ -79,6 +81,7 @@ func (m *Matrix) T() *Matrix {
 // Mul returns the matrix product m·b.
 func (m *Matrix) Mul(b *Matrix) *Matrix {
 	if m.Cols != b.Rows {
+		//lint:allow panicfree dimension mismatch is a caller bug; gonum-style shape invariant
 		panic(fmt.Sprintf("linalg: mul dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
 	out := NewMatrix(m.Rows, b.Cols)
@@ -101,6 +104,7 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 // MulVec returns the matrix-vector product m·x.
 func (m *Matrix) MulVec(x []float64) []float64 {
 	if m.Cols != len(x) {
+		//lint:allow panicfree dimension mismatch is a caller bug; gonum-style shape invariant
 		panic(fmt.Sprintf("linalg: mulvec dimension mismatch %dx%d · %d", m.Rows, m.Cols, len(x)))
 	}
 	out := make([]float64, m.Rows)
@@ -126,6 +130,7 @@ func (m *Matrix) AddScaledIdentity(v float64) *Matrix {
 // Dot returns the inner product of two equal-length vectors.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
+		//lint:allow panicfree dimension mismatch is a caller bug; gonum-style shape invariant
 		panic(fmt.Sprintf("linalg: dot length mismatch %d vs %d", len(a), len(b)))
 	}
 	var s float64
@@ -154,6 +159,7 @@ func Scale(x []float64, a float64) {
 // AXPY computes y += a*x in place.
 func AXPY(a float64, x, y []float64) {
 	if len(x) != len(y) {
+		//lint:allow panicfree dimension mismatch is a caller bug; gonum-style shape invariant
 		panic(fmt.Sprintf("linalg: axpy length mismatch %d vs %d", len(x), len(y)))
 	}
 	for i, v := range x {

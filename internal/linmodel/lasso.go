@@ -51,6 +51,7 @@ func (m *Lasso) Fit(x [][]float64, y []float64) error {
 // Predict returns predictions for the given rows.
 func (m *Lasso) Predict(x [][]float64) []float64 {
 	if !m.fitted {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("linmodel: Lasso.Predict before Fit")
 	}
 	return linPredict(&m.scaler, m.Coef, m.Intercept, x)
@@ -103,6 +104,7 @@ func (m *ElasticNet) Fit(x [][]float64, y []float64) error {
 // Predict returns predictions for the given rows.
 func (m *ElasticNet) Predict(x [][]float64) []float64 {
 	if !m.fitted {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("linmodel: ElasticNet.Predict before Fit")
 	}
 	return linPredict(&m.scaler, m.Coef, m.Intercept, x)
@@ -185,6 +187,7 @@ func (m *ElasticNetCV) Fit(x [][]float64, y []float64) error {
 // Predict returns predictions for the given rows.
 func (m *ElasticNetCV) Predict(x [][]float64) []float64 {
 	if m.inner == nil {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("linmodel: ElasticNetCV.Predict before Fit")
 	}
 	return m.inner.Predict(x)

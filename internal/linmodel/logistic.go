@@ -136,6 +136,7 @@ func (m *LogisticRegression) Predict(x [][]float64) []string {
 // PredictProba returns per-row label probabilities.
 func (m *LogisticRegression) PredictProba(x [][]float64) []map[string]float64 {
 	if !m.fitted {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("linmodel: LogisticRegression.Predict before Fit")
 	}
 	out := make([]map[string]float64, len(x))

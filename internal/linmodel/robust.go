@@ -125,6 +125,7 @@ func (m *HuberRegressor) Fit(x [][]float64, y []float64) error {
 // Predict returns predictions for the given rows.
 func (m *HuberRegressor) Predict(x [][]float64) []float64 {
 	if !m.fitted {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("linmodel: Huber.Predict before Fit")
 	}
 	return linPredict(&m.scaler, m.Coef, m.Intercept, x)
@@ -230,6 +231,7 @@ func (m *QuantileRegressor) Fit(x [][]float64, y []float64) error {
 // Predict returns predictions for the given rows.
 func (m *QuantileRegressor) Predict(x [][]float64) []float64 {
 	if !m.fitted {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("linmodel: Quantile.Predict before Fit")
 	}
 	return linPredict(&m.scaler, m.Coef, m.Intercept, x)

@@ -141,6 +141,7 @@ func (m *LinearSVR) Fit(x [][]float64, y []float64) error {
 // Predict returns predictions for the given rows.
 func (m *LinearSVR) Predict(x [][]float64) []float64 {
 	if !m.fitted {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("linmodel: LinearSVR.Predict before Fit")
 	}
 	return linPredict(&m.scaler, m.Coef, m.Intercept, x)

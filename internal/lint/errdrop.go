@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags silently discarded error return values:
+//
+//   - expression statements whose call returns an error that nobody
+//     reads (srv.Close() on its own line), and
+//   - assignments that route an error into the blank identifier
+//     (_ = f(), v, _ := g()).
+//
+// In a federated round a swallowed transport error is a client
+// silently missing from an aggregate — exactly the failure class
+// PR 1's quorum machinery exists to surface. Deliberate discards must
+// say why via //lint:allow errdrop <reason>. Deferred cleanup calls
+// (defer f.Close()) are conventionally exempt, as are the allowlisted
+// never-failing or console-printing functions from the Config, and —
+// by writer type — fmt.Fprint* into a *strings.Builder or
+// *bytes.Buffer (documented to never fail) or to os.Stdout/os.Stderr
+// (console output, same rationale as fmt.Print*).
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flag silently discarded error return values",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	errType := types.Universe.Lookup("error").Type()
+	isErr := func(t types.Type) bool { return t != nil && types.Identical(t, errType) }
+
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := st.X.(*ast.CallExpr)
+				if !ok || p.calleeAllowed(call) {
+					return true
+				}
+				if name, ok := callReturnsError(p.Pkg.Info, call, isErr); ok {
+					p.Reportf(call.Pos(), "%s returns an error that is discarded; handle it or assign and check", name)
+				}
+			case *ast.AssignStmt:
+				p.checkBlankErr(st, isErr)
+			}
+			return true
+		})
+	}
+}
+
+// checkBlankErr reports blank identifiers on the left-hand side of an
+// assignment that receive an error-typed value.
+func (p *Pass) checkBlankErr(st *ast.AssignStmt, isErr func(types.Type) bool) {
+	// Allowlisted callee: n, _ := fmt.Println(...) etc.
+	if len(st.Rhs) == 1 {
+		if call, ok := st.Rhs[0].(*ast.CallExpr); ok && p.calleeAllowed(call) {
+			return
+		}
+	}
+	for i, lhs := range st.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		var t types.Type
+		switch {
+		case len(st.Rhs) == len(st.Lhs):
+			t = p.Pkg.Info.Types[st.Rhs[i]].Type
+		case len(st.Rhs) == 1:
+			if tup, ok := p.Pkg.Info.Types[st.Rhs[0]].Type.(*types.Tuple); ok && i < tup.Len() {
+				t = tup.At(i).Type()
+			}
+		}
+		if isErr(t) {
+			p.Reportf(id.Pos(), "error discarded via blank identifier; handle it or annotate //lint:allow errdrop <reason>")
+		}
+	}
+}
+
+// callReturnsError reports whether the call's result type is error or
+// a tuple containing error, along with a printable callee name.
+func callReturnsError(info *types.Info, call *ast.CallExpr, isErr func(types.Type) bool) (string, bool) {
+	tv, ok := info.Types[call]
+	if !ok || tv.IsType() { // conversion, not a call
+		return "", false
+	}
+	found := false
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErr(t.At(i).Type()) {
+				found = true
+			}
+		}
+	default:
+		found = isErr(tv.Type)
+	}
+	if !found {
+		return "", false
+	}
+	return calleeName(info, call), true
+}
+
+// calleeAllowed reports whether the call's target is on the errdrop
+// allowlist (full types.Func.FullName form), or is an fmt.Fprint*
+// whose destination writer cannot meaningfully fail.
+func (p *Pass) calleeAllowed(call *ast.CallExpr) bool {
+	fn := calleeFunc(p.Pkg.Info, call)
+	if fn == nil {
+		return false
+	}
+	full := fn.FullName()
+	if p.Config.ErrDropAllow[full] {
+		return true
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+		return p.neverFailingWriter(call.Args[0])
+	}
+	return false
+}
+
+// neverFailingWriter reports whether the expression is a writer whose
+// Write is documented never to return an error (*strings.Builder,
+// *bytes.Buffer) or the process console (os.Stdout / os.Stderr),
+// where a write failure is unactionable.
+func (p *Pass) neverFailingWriter(arg ast.Expr) bool {
+	if t := p.Pkg.Info.Types[arg].Type; t != nil {
+		switch t.String() {
+		case "*strings.Builder", "*bytes.Buffer":
+			return true
+		}
+	}
+	if sel, ok := ast.Unparen(arg).(*ast.SelectorExpr); ok {
+		if v, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Var); ok && v.Pkg() != nil &&
+			v.Pkg().Path() == "os" && (v.Name() == "Stdout" || v.Name() == "Stderr") {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the called function object, unwrapping
+// parentheses; nil for indirect calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleeName renders a short printable name for diagnostics.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		return fn.FullName()
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "call"
+}

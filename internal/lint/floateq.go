@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags ==/!= between floating-point operands. After any
+// arithmetic, exact equality is numerically meaningless — it is how a
+// GP kernel "converges" on one machine and not another, or an ADF
+// regression passes locally and fails in CI. Comparisons must go
+// through a tolerance helper (math.Abs(a-b) <= eps).
+//
+// Exemptions: comparisons where either operand is a compile-time
+// constant (exact-zero division guards and protocol sentinel values
+// like Scalars["flag"] == 1 are assigned, never computed, so the
+// comparison is exact by construction), and the bodies of the
+// allowlisted tolerance helpers themselves.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= between computed floating-point values; use a tolerance helper",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		exempt := allowedFuncRanges(f, p.Config.FloatEqAllowFuncs)
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			x := p.Pkg.Info.Types[be.X]
+			y := p.Pkg.Info.Types[be.Y]
+			if !isFloat(x.Type) && !isFloat(y.Type) {
+				return true
+			}
+			// Constants are assigned exactly, never computed: sentinel
+			// and zero-guard comparisons are well-defined.
+			if x.Value != nil || y.Value != nil {
+				return true
+			}
+			for _, r := range exempt {
+				if be.Pos() >= r.lo && be.Pos() < r.hi {
+					return true
+				}
+			}
+			p.Reportf(be.OpPos,
+				"floating-point %s between computed values; compare with a tolerance (math.Abs(a-b) <= eps)",
+				be.Op)
+			return true
+		})
+	}
+}
+
+// posRange is a half-open [lo, hi) position interval.
+type posRange struct{ lo, hi token.Pos }
+
+// allowedFuncRanges returns the body ranges of top-level functions
+// whose names are allowlisted tolerance helpers.
+func allowedFuncRanges(f *ast.File, allow map[string]bool) []posRange {
+	var rs []posRange
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !allow[fd.Name.Name] {
+			continue
+		}
+		rs = append(rs, posRange{fd.Body.Pos(), fd.Body.End()})
+	}
+	return rs
+}
+
+// isFloat reports whether t's underlying type is a floating-point
+// basic type (float32/float64 or their untyped constant kinds).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,217 @@
+// Package lint is FedForecaster's project-specific static-analysis
+// layer: a stdlib-only driver (go/ast + go/parser + go/token +
+// go/types, no golang.org/x/tools) plus a registry of analyzers that
+// encode the repository's determinism, numeric-safety, and
+// error-hygiene invariants.
+//
+// The reproduction's value rests on bit-identical replays: the
+// synthetic knowledge base, the seeded chaos fault schedules, and the
+// GP/EI optimization loop must all regenerate from a seed. The
+// analyzers turn that discipline from reviewer vigilance into a build
+// gate:
+//
+//	seededrand  all randomness flows through an injected *rand.Rand
+//	floateq     no ==/!= between computed floating-point values
+//	errdrop     no silently discarded error returns
+//	panicfree   no panic/os.Exit/log.Fatal in library packages
+//	walltime    no wall-clock reads in deterministic algorithm packages
+//
+// Deliberate violations are annotated in the source with
+//
+//	//lint:allow <rule> <reason>
+//
+// on the offending line or the line directly above it. The reason is
+// mandatory — a suppression without a justification is itself a
+// diagnostic (rule "directive").
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the canonical file:line:col: rule: message form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
+}
+
+// Package is one parsed, type-checked package as seen by analyzers.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Config carries the project policy the analyzers enforce. The zero
+// value disables every scope-restricted rule; use DefaultConfig for
+// the repository's policy.
+type Config struct {
+	// ModulePath is the module's import-path prefix (from go.mod).
+	ModulePath string
+	// WalltimePkgs lists the import paths of deterministic algorithm
+	// packages where wall-clock reads are forbidden.
+	WalltimePkgs map[string]bool
+	// ErrDropAllow lists fully-qualified functions (types.Func.FullName
+	// form, e.g. "fmt.Println" or "(*strings.Builder).WriteString")
+	// whose error results may be discarded without annotation.
+	ErrDropAllow map[string]bool
+	// FloatEqAllowFuncs names tolerance-helper functions inside which
+	// floating-point ==/!= is permitted (they implement the tolerance).
+	FloatEqAllowFuncs map[string]bool
+}
+
+// DefaultConfig returns the FedForecaster policy: walltime applies to
+// the deterministic algorithm packages, console printing and
+// never-failing builder writes are exempt from errdrop, and the
+// repository's tolerance helpers may compare floats exactly.
+func DefaultConfig(modulePath string) Config {
+	wt := map[string]bool{}
+	for _, p := range []string{"core", "synth", "bayesopt", "metafeat", "ensemble", "tree"} {
+		wt[modulePath+"/internal/"+p] = true
+	}
+	return Config{
+		ModulePath:   modulePath,
+		WalltimePkgs: wt,
+		ErrDropAllow: map[string]bool{
+			// Console output: failure is untestable and unactionable.
+			"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+			// Documented to never return a non-nil error.
+			"(*strings.Builder).Write":       true,
+			"(*strings.Builder).WriteString": true,
+			"(*strings.Builder).WriteByte":   true,
+			"(*strings.Builder).WriteRune":   true,
+			"(*bytes.Buffer).Write":          true,
+			"(*bytes.Buffer).WriteString":    true,
+			"(*bytes.Buffer).WriteByte":      true,
+			"(*bytes.Buffer).WriteRune":      true,
+		},
+		FloatEqAllowFuncs: map[string]bool{
+			"almostEqual": true, "approxEqual": true, "floatsEqual": true,
+			"EqualTol": true, "withinTol": true,
+		},
+	}
+}
+
+// isLibraryPackage reports whether pkg is subject to library-only
+// rules: not a main package, not under cmd/ or examples/.
+func (c Config) isLibraryPackage(pkg *Package) bool {
+	if pkg.Types != nil && pkg.Types.Name() == "main" {
+		return false
+	}
+	for _, seg := range []string{"/cmd/", "/examples/"} {
+		if strings.Contains(pkg.ImportPath+"/", seg) {
+			return false
+		}
+	}
+	return true
+}
+
+// Analyzer is one lint rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass hands one type-checked package to one analyzer and collects
+// its findings.
+type Pass struct {
+	Fset     *token.FileSet
+	Pkg      *Package
+	Config   Config
+	rule     string
+	findings []Finding
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.findings = append(p.findings, Finding{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full registry in a fixed order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{SeededRand, FloatEq, ErrDrop, PanicFree, Walltime}
+}
+
+// Run executes the analyzers over every package — one goroutine per
+// package, findings merged deterministically — applies the
+// //lint:allow suppression comments, and returns the surviving
+// diagnostics sorted by position then rule.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, cfg Config) []Finding {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	perPkg := make([][]Finding, len(pkgs))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			perPkg[i] = runPackage(fset, pkg, analyzers, cfg, known)
+		}(i, pkg)
+	}
+	wg.Wait()
+	var all []Finding
+	for _, fs := range perPkg {
+		all = append(all, fs...)
+	}
+	sortFindings(all)
+	return all
+}
+
+// runPackage runs every analyzer over one package and filters the
+// findings through the package's suppression directives.
+func runPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, cfg Config, known map[string]bool) []Finding {
+	sup, findings := collectDirectives(fset, pkg, known)
+	for _, a := range analyzers {
+		pass := &Pass{Fset: fset, Pkg: pkg, Config: cfg, rule: a.Name}
+		a.Run(pass)
+		for _, f := range pass.findings {
+			if sup.allowed(f.Pos, f.Rule) {
+				continue
+			}
+			findings = append(findings, f)
+		}
+	}
+	return findings
+}
+
+// sortFindings orders diagnostics by file, line, column, rule,
+// message — the deterministic merge order promised by Run.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+}

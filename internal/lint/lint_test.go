@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches golden-fixture expectation comments:
+//
+//	// want <rule> "<message substring>"
+//
+// placed at the end of the offending line.
+var wantRe = regexp.MustCompile(`// want ([a-z]+) "([^"]*)"`)
+
+// expectation is one parsed want comment.
+type expectation struct {
+	file   string // base name of the fixture file
+	line   int
+	rule   string
+	substr string
+}
+
+// fixtureRules are the analyzer fixtures under testdata/src, one
+// directory per rule.
+var fixtureRules = []string{"seededrand", "floateq", "errdrop", "panicfree", "walltime"}
+
+// loadFixture parses and type-checks testdata/src/<name> under the
+// import path fixture/<name>.
+func loadFixture(t *testing.T, fset *token.FileSet, name string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := LoadDir(fset, dir, "fixture/"+name)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	return pkg
+}
+
+// fixtureConfig is the policy the fixtures are written against: the
+// default config with the walltime fixture registered as a
+// deterministic package.
+func fixtureConfig() Config {
+	cfg := DefaultConfig("fixture")
+	cfg.WalltimePkgs["fixture/walltime"] = true
+	return cfg
+}
+
+// readExpectations scans every fixture file in testdata/src/<name> for
+// want comments.
+func readExpectations(t *testing.T, name string) []expectation {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir(%s): %v", dir, err)
+	}
+	var wants []expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				wants = append(wants, expectation{
+					file: e.Name(), line: i + 1, rule: m[1], substr: m[2],
+				})
+			}
+		}
+	}
+	return wants
+}
+
+// TestFixtures runs the full analyzer registry over each golden
+// fixture package and requires a one-to-one match between findings and
+// want comments: every finding must be expected (same file, line, and
+// rule, message containing the quoted substring) and every expectation
+// must fire. Unsuppressed violations on //lint:allow lines or missing
+// suppressions both fail the match.
+func TestFixtures(t *testing.T) {
+	for _, name := range fixtureRules {
+		t.Run(name, func(t *testing.T) {
+			fset := token.NewFileSet()
+			pkg := loadFixture(t, fset, name)
+			got := Run(fset, []*Package{pkg}, Analyzers(), fixtureConfig())
+			wants := readExpectations(t, name)
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no want comments", name)
+			}
+			used := make([]bool, len(wants))
+		findings:
+			for _, f := range got {
+				base := filepath.Base(f.Pos.Filename)
+				for i, w := range wants {
+					if used[i] || w.file != base || w.line != f.Pos.Line || w.rule != f.Rule {
+						continue
+					}
+					if !strings.Contains(f.Message, w.substr) {
+						t.Errorf("%s: message %q does not contain want substring %q", f, f.Message, w.substr)
+					}
+					used[i] = true
+					continue findings
+				}
+				t.Errorf("unexpected finding: %s", f)
+			}
+			for i, w := range wants {
+				if !used[i] {
+					t.Errorf("expected finding did not fire: %s:%d %s %q", w.file, w.line, w.rule, w.substr)
+				}
+			}
+		})
+	}
+}
+
+// TestExactPositions pins down exact file:line:col diagnostics for one
+// finding per rule, with the column computed from the fixture source
+// so the assertion tracks the file byte-for-byte.
+func TestExactPositions(t *testing.T) {
+	cases := []struct {
+		rule     string
+		lineSub  string // identifies the offending source line
+		colToken string // token whose 1-based column the finding must carry
+	}{
+		{"seededrand", "rand.Float64()", "Float64"},
+		{"floateq", "return a == b // want", "=="},
+		{"errdrop", "mayFail() // want", "mayFail()"},
+		{"panicfree", `panic("negative")`, "panic"},
+		{"walltime", "return time.Now() // want", "Now"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.rule, func(t *testing.T) {
+			file := filepath.Join("testdata", "src", tc.rule, tc.rule+".go")
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatalf("ReadFile: %v", err)
+			}
+			wantLine, wantCol := 0, 0
+			for i, line := range strings.Split(string(data), "\n") {
+				if !strings.Contains(line, tc.lineSub) {
+					continue
+				}
+				wantLine = i + 1
+				wantCol = strings.Index(line, tc.colToken) + 1 // 1-based byte column
+				break
+			}
+			if wantLine == 0 {
+				t.Fatalf("fixture line %q not found in %s", tc.lineSub, file)
+			}
+
+			fset := token.NewFileSet()
+			pkg := loadFixture(t, fset, tc.rule)
+			got := Run(fset, []*Package{pkg}, Analyzers(), fixtureConfig())
+			for _, f := range got {
+				if f.Rule != tc.rule || f.Pos.Line != wantLine {
+					continue
+				}
+				if f.Pos.Column != wantCol {
+					t.Fatalf("finding %s: column = %d, want %d", f, f.Pos.Column, wantCol)
+				}
+				wantPrefix := fmt.Sprintf("%s:%d:%d: %s: ", file, wantLine, wantCol, tc.rule)
+				if !strings.HasPrefix(f.String(), wantPrefix) {
+					t.Fatalf("finding rendered %q, want prefix %q", f.String(), wantPrefix)
+				}
+				return
+			}
+			t.Fatalf("no %s finding at %s:%d", tc.rule, file, wantLine)
+		})
+	}
+}
+
+// TestSuppressionForms verifies both directive placements end-to-end:
+// the fixtures contain one same-line and one line-above //lint:allow
+// per rule (asserted here so the fixtures cannot silently lose them),
+// and TestFixtures already proves no finding escapes either form.
+func TestSuppressionForms(t *testing.T) {
+	for _, name := range fixtureRules {
+		file := filepath.Join("testdata", "src", name, name+".go")
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		var sameLine, lineAbove bool
+		for _, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, directivePrefix+" "+name)
+			if idx < 0 {
+				continue
+			}
+			if strings.TrimSpace(line[:idx]) == "" {
+				lineAbove = true
+			} else {
+				sameLine = true
+			}
+		}
+		if !sameLine && !lineAbove {
+			t.Errorf("%s: fixture has no //lint:allow %s directive", file, name)
+		}
+	}
+	// At least one fixture must exercise each placement.
+	var anySame, anyAbove bool
+	for _, name := range fixtureRules {
+		data, _ := os.ReadFile(filepath.Join("testdata", "src", name, name+".go"))
+		for _, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, directivePrefix+" ")
+			if idx < 0 {
+				continue
+			}
+			if strings.TrimSpace(line[:idx]) == "" {
+				anyAbove = true
+			} else {
+				anySame = true
+			}
+		}
+	}
+	if !anySame || !anyAbove {
+		t.Errorf("fixtures must exercise both same-line and line-above suppression (same=%v above=%v)", anySame, anyAbove)
+	}
+}
+
+// TestDirectiveValidation checks the directive fixture: a reason-less
+// directive and an unknown-rule directive are diagnostics at exact
+// positions, and the well-formed directive is silent.
+func TestDirectiveValidation(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg := loadFixture(t, fset, "directive")
+	got := Run(fset, []*Package{pkg}, Analyzers(), fixtureConfig())
+	file := filepath.Join("testdata", "src", "directive", "directive.go")
+	want := []string{
+		file + ":10:1: directive: malformed suppression: want //lint:allow <rule> <reason>",
+		file + ":13:1: directive: unknown rule nosuchrule in //lint:allow directive",
+	}
+	var gotStrs []string
+	for _, f := range got {
+		gotStrs = append(gotStrs, f.String())
+	}
+	if strings.Join(gotStrs, "\n") != strings.Join(want, "\n") {
+		t.Errorf("directive fixture findings:\n%s\nwant:\n%s",
+			strings.Join(gotStrs, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+// TestRunDeterministic loads every fixture into one Run (exercising
+// the per-package goroutines) and checks the merged, sorted output is
+// byte-identical across repeats.
+func TestRunDeterministic(t *testing.T) {
+	render := func() string {
+		fset := token.NewFileSet()
+		var pkgs []*Package
+		for _, name := range append([]string{"directive"}, fixtureRules...) {
+			pkgs = append(pkgs, loadFixture(t, fset, name))
+		}
+		var b strings.Builder
+		for _, f := range Run(fset, pkgs, Analyzers(), fixtureConfig()) {
+			fmt.Fprintf(&b, "%s\n", f)
+		}
+		return b.String()
+	}
+	first := render()
+	if first == "" {
+		t.Fatal("combined fixture run produced no findings")
+	}
+	for i := 0; i < 3; i++ {
+		if got := render(); got != first {
+			t.Fatalf("run %d diverged:\n%s\nwant:\n%s", i+2, got, first)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicFree forbids panic, os.Exit, and log.Fatal* in library
+// packages (everything outside cmd/, examples/, and main packages).
+// A panic in a client node takes down the whole federated process
+// rather than surfacing as a per-client error the quorum layer can
+// absorb; os.Exit and log.Fatal additionally skip deferred transport
+// cleanup. Recoverable conditions must return errors. Genuine
+// invariant violations — "this cannot happen unless the caller broke
+// the API contract" — may keep their panic with an annotation:
+//
+//	//lint:allow panicfree <why this is an invariant>
+var PanicFree = &Analyzer{
+	Name: "panicfree",
+	Doc:  "forbid panic/os.Exit/log.Fatal in library packages; return errors instead",
+	Run:  runPanicFree,
+}
+
+func runPanicFree(p *Pass) {
+	if !p.Config.isLibraryPackage(p.Pkg) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				if b, ok := p.Pkg.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "panic" {
+					p.Reportf(call.Pos(), "panic in library package; return an error, or annotate the invariant with //lint:allow panicfree <reason>")
+				}
+			case *ast.SelectorExpr:
+				fn, ok := p.Pkg.Info.Uses[fun.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				switch {
+				case fn.Pkg().Path() == "os" && fn.Name() == "Exit":
+					p.Reportf(call.Pos(), "os.Exit in library package skips deferred cleanup; return an error")
+				case fn.Pkg().Path() == "log" && strings.HasPrefix(fn.Name(), "Fatal"):
+					p.Reportf(call.Pos(), "log.%s in library package exits the process; return an error", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// SeededRand forbids the global math/rand convenience functions
+// (rand.Float64, rand.Intn, rand.Seed, …) in library packages. The
+// knowledge base, the chaos fault schedules, and the BO proposal loop
+// are all specified to replay bit-identically from a seed; a single
+// draw from the process-global source silently couples a component's
+// output to everything else that has ever touched that source.
+// All randomness must instead flow through an injected *rand.Rand
+// built with rand.New(rand.NewSource(seed)). Constructors (rand.New,
+// rand.NewSource, rand.NewZipf) and methods on an injected *rand.Rand
+// are allowed; commands and examples may seed however they like.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid global math/rand functions in library packages; inject a seeded *rand.Rand",
+	Run:  runSeededRand,
+}
+
+// seededRandAllowed are the math/rand package-level functions that do
+// not draw from (or mutate) the global source.
+var seededRandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors, should the module ever adopt it.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runSeededRand(p *Pass) {
+	if !p.Config.isLibraryPackage(p.Pkg) {
+		return
+	}
+	for ident, obj := range p.Pkg.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		path := fn.Pkg().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue // methods on an injected *rand.Rand are the approved form
+		}
+		if seededRandAllowed[fn.Name()] {
+			continue
+		}
+		p.Reportf(ident.Pos(),
+			"global %s.%s draws from the shared process-wide source; thread a seeded *rand.Rand instead",
+			path, fn.Name())
+	}
+}

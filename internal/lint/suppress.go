@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment:
+//
+//	//lint:allow <rule> <reason...>
+//
+// It silences findings of <rule> on the same line or the line
+// immediately below (i.e. the comment may sit on the offending line
+// or directly above it). The reason is mandatory and free-form; it is
+// the reviewer-facing justification for the exception.
+const directivePrefix = "//lint:allow"
+
+// suppressions indexes the //lint:allow directives of one package:
+// file → line → set of allowed rules.
+type suppressions struct {
+	byLine map[string]map[int]map[string]bool
+}
+
+// allowed reports whether a finding of rule at pos is suppressed by a
+// directive on its own line or the line above.
+func (s *suppressions) allowed(pos token.Position, rule string) bool {
+	lines := s.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][rule] || lines[pos.Line-1][rule]
+}
+
+// collectDirectives scans every comment of the package for
+// //lint:allow directives. Malformed directives (missing rule or
+// reason) and directives naming unknown rules are themselves reported
+// under the "directive" rule, so suppressions cannot silently rot.
+func collectDirectives(fset *token.FileSet, pkg *Package, known map[string]bool) (*suppressions, []Finding) {
+	sup := &suppressions{byLine: map[string]map[int]map[string]bool{}}
+	var findings []Finding
+	report := func(pos token.Position, msg string) {
+		findings = append(findings, Finding{Pos: pos, Rule: "directive", Message: msg})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowance — not our directive
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					report(pos, "malformed suppression: want //lint:allow <rule> <reason>")
+					continue
+				}
+				rule := fields[0]
+				if !known[rule] {
+					report(pos, "unknown rule "+rule+" in //lint:allow directive")
+					continue
+				}
+				lines := sup.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					sup.byLine[pos.Filename] = lines
+				}
+				rules := lines[pos.Line]
+				if rules == nil {
+					rules = map[string]bool{}
+					lines[pos.Line] = rules
+				}
+				rules[rule] = true
+			}
+		}
+	}
+	return sup, findings
+}

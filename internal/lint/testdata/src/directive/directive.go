@@ -1,0 +1,19 @@
+// Package directive is a golden fixture for the suppression-directive
+// validator: a directive missing its mandatory reason and a directive
+// naming an unknown rule are both diagnostics, while a well-formed
+// directive is accepted silently. The driver test asserts the exact
+// positions of the two bad directives below, so their line numbers are
+// load-bearing: keep them at lines 10 and 13.
+package directive
+
+// The next directive is malformed: the reason is mandatory.
+//lint:allow errdrop
+
+// The next directive names a rule that does not exist.
+//lint:allow nosuchrule justified at length, but still unknown
+
+// A well-formed directive is accepted even when it suppresses nothing.
+//lint:allow errdrop documented no-op suppression
+
+// Noop exists so the package has a declaration.
+func Noop() {}

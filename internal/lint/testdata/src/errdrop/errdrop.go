@@ -1,0 +1,68 @@
+// Package errdrop is a golden fixture for the errdrop analyzer:
+// discarded error results are flagged; handled errors, deferred
+// cleanup, console printing, and never-failing writers are not.
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// Bad discards the error of an expression statement.
+func Bad() {
+	mayFail() // want errdrop "mayFail returns an error that is discarded"
+}
+
+// BadBlank routes the error into the blank identifier.
+func BadBlank() {
+	_ = mayFail() // want errdrop "error discarded via blank identifier"
+}
+
+// BadTuple drops the error half of a multi-value result.
+func BadTuple() int {
+	n, _ := pair() // want errdrop "error discarded via blank identifier"
+	return n
+}
+
+// BadWriter: a generic io.Writer can fail, so the Fprintf error counts.
+func BadWriter(w io.Writer) {
+	fmt.Fprintf(w, "x") // want errdrop "fmt.Fprintf returns an error that is discarded"
+}
+
+// Good handles the error.
+func Good() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// GoodDefer: deferred cleanup calls are conventionally exempt.
+func GoodDefer(c io.Closer) {
+	defer c.Close()
+}
+
+// GoodBuilder: fmt.Fprintf into a *strings.Builder never fails.
+func GoodBuilder() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x=%d", 1)
+	return b.String()
+}
+
+// GoodConsole: console printing is allowlisted (unactionable errors).
+func GoodConsole() {
+	fmt.Println("hello")
+	fmt.Fprintln(os.Stderr, "hello")
+}
+
+// Suppressed documents a deliberate discard.
+func Suppressed() {
+	mayFail() //lint:allow errdrop fixture exercises a documented discard
+}

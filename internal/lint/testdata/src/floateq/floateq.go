@@ -1,0 +1,38 @@
+// Package floateq is a golden fixture for the floateq analyzer:
+// exact comparison of computed floats is flagged, constant-operand
+// guards and allowlisted tolerance helpers are not.
+package floateq
+
+import "math"
+
+// Bad compares two computed floats exactly.
+func Bad(a, b float64) bool {
+	return a == b // want floateq "floating-point == between computed values"
+}
+
+// BadNeq compares derived quantities for inequality.
+func BadNeq(a, b float64) bool {
+	sum := a + b
+	return sum != a*b // want floateq "floating-point != between computed values"
+}
+
+// ConstGuard is exempt: one operand is a compile-time constant, so the
+// comparison is exact by construction (zero guards, sentinels).
+func ConstGuard(x float64) bool {
+	return x == 0
+}
+
+// almostEqual is an allowlisted tolerance helper; the exact comparison
+// inside it implements the fast path of the tolerance itself.
+func almostEqual(a, b, eps float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= eps
+}
+
+// Suppressed documents a deliberate bitwise comparison.
+func Suppressed(a, b float64) bool {
+	//lint:allow floateq fixture exercises an annotated bitwise tie check
+	return a == b
+}

@@ -1,0 +1,34 @@
+// Package panicfree is a golden fixture for the panicfree analyzer:
+// panic, os.Exit, and log.Fatal* in a library package are flagged;
+// an annotated invariant panic is not.
+package panicfree
+
+import (
+	"log"
+	"os"
+)
+
+// Bad panics on a recoverable condition.
+func Bad(n int) {
+	if n < 0 {
+		panic("negative") // want panicfree "panic in library package"
+	}
+}
+
+// BadExit terminates the process from library code.
+func BadExit() {
+	os.Exit(1) // want panicfree "os.Exit in library package skips deferred cleanup"
+}
+
+// BadFatal exits via the logger.
+func BadFatal() {
+	log.Fatalf("boom") // want panicfree "log.Fatalf in library package exits the process"
+}
+
+// Invariant keeps its panic with the mandatory annotation.
+func Invariant(ok bool) {
+	if !ok {
+		//lint:allow panicfree fixture exercises an annotated invariant
+		panic("caller broke the API contract")
+	}
+}

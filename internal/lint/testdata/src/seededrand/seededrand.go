@@ -1,0 +1,36 @@
+// Package seededrand is a golden fixture for the seededrand analyzer:
+// global math/rand draws are flagged, injected *rand.Rand usage and
+// constructors are not, and both suppression forms are exercised.
+package seededrand
+
+import "math/rand"
+
+// Bad draws from the shared process-wide source.
+func Bad() float64 {
+	return rand.Float64() // want seededrand "global math/rand.Float64 draws from the shared process-wide source"
+}
+
+// BadIntn draws an int from the shared source.
+func BadIntn() int {
+	x := rand.Intn(10) // want seededrand "global math/rand.Intn"
+	return x
+}
+
+// Good threads an injected, seeded source — the approved form.
+func Good(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// SuppressedSameLine documents a deliberate global draw on the
+// offending line itself.
+func SuppressedSameLine() float64 {
+	return rand.ExpFloat64() //lint:allow seededrand fixture exercises same-line suppression
+}
+
+// SuppressedLineAbove documents a deliberate global draw on the line
+// directly above.
+func SuppressedLineAbove() float64 {
+	//lint:allow seededrand fixture exercises line-above suppression
+	return rand.NormFloat64()
+}

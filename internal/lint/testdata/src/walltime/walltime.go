@@ -1,0 +1,28 @@
+// Package walltime is a golden fixture for the walltime analyzer. The
+// driver test registers this package's import path in
+// Config.WalltimePkgs, standing in for core/synth/bayesopt/… in the
+// real policy.
+package walltime
+
+import "time"
+
+// Bad reads the wall clock inside a deterministic package.
+func Bad() time.Time {
+	return time.Now() // want walltime "time.Now reads the wall clock in deterministic package"
+}
+
+// BadSince measures elapsed wall time.
+func BadSince(t time.Time) time.Duration {
+	return time.Since(t) // want walltime "time.Since reads the wall clock"
+}
+
+// GoodInjected threads time through as data — the approved form.
+func GoodInjected(now time.Time, d time.Duration) time.Time {
+	return now.Add(d)
+}
+
+// Suppressed documents a deliberate wall-clock read.
+func Suppressed() time.Time {
+	//lint:allow walltime fixture exercises an annotated wall-clock read
+	return time.Now()
+}

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// Walltime forbids wall-clock reads (time.Now, time.Since,
+// time.Until) in the deterministic algorithm packages listed in
+// Config.WalltimePkgs — core, synth, bayesopt, metafeat, ensemble,
+// tree in the default policy. Those packages define outputs that must
+// replay bit-identically from a seed; a wall-clock read smuggles the
+// machine's scheduler into the result. Transport deadline code (fl)
+// and command-line tools are outside the configured scope. A genuine
+// wall-clock requirement inside a scoped package (e.g. a user-facing
+// time budget) must be annotated:
+//
+//	//lint:allow walltime <why wall time is part of the contract>
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid time.Now/Since/Until in deterministic algorithm packages",
+	Run:  runWalltime,
+}
+
+// walltimeReads are the time package functions that observe the wall
+// clock.
+var walltimeReads = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runWalltime(p *Pass) {
+	if !p.Config.WalltimePkgs[p.Pkg.ImportPath] {
+		return
+	}
+	for ident, obj := range p.Pkg.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue
+		}
+		if !walltimeReads[fn.Name()] {
+			continue
+		}
+		p.Reportf(ident.Pos(),
+			"time.%s reads the wall clock in deterministic package %s; inject time or annotate //lint:allow walltime <reason>",
+			fn.Name(), p.Pkg.ImportPath)
+	}
+}

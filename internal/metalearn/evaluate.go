@@ -69,10 +69,14 @@ func EvaluateMetaModel(kb *KnowledgeBase, name string, trainFrac float64, k int,
 		}
 		truth = append(truth, r.BestAlgorithm)
 	}
+	f1, err := stats.F1Macro(top1, truth)
+	if err != nil {
+		return EvalResult{}, err
+	}
 	return EvalResult{
 		Model: name,
 		MRR3:  stats.MRRAtK(topK, truth, k),
-		F1:    stats.F1Macro(top1, truth),
+		F1:    f1,
 	}, nil
 }
 

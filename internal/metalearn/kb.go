@@ -120,6 +120,7 @@ func (r Record) Ranking() []string {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
+		//lint:allow floateq deterministic sort tie-break compares stored values bitwise; no arithmetic separates them
 		if r.AlgoLosses[keys[i]] != r.AlgoLosses[keys[j]] {
 			return r.AlgoLosses[keys[i]] < r.AlgoLosses[keys[j]]
 		}

@@ -50,6 +50,7 @@ func (m *MetaModel) RecommendTopK(vec []float64, k int) []string {
 		all = append(all, lp{l, p})
 	}
 	sort.Slice(all, func(i, j int) bool {
+		//lint:allow floateq deterministic sort tie-break compares stored values bitwise; no arithmetic separates them
 		if all[i].p != all[j].p {
 			return all[i].p > all[j].p
 		}

@@ -62,6 +62,7 @@ func (d *Dataset) SelectColumns(cols []int) *Dataset {
 	out := &Dataset{Y: d.Y, Names: make([]string, len(cols)), X: make([][]float64, len(d.X))}
 	for j, c := range cols {
 		if c < 0 || c >= d.NumFeatures() {
+			//lint:allow panicfree shape mismatch is a programmer error; the pipeline constructs matched slices
 			panic(fmt.Sprintf("model: column %d out of range (p=%d)", c, d.NumFeatures()))
 		}
 		if c < len(d.Names) {
@@ -93,6 +94,7 @@ func (d *Dataset) Split(at int) (train, valid *Dataset) {
 // MSE returns the mean squared error between predictions and targets.
 func MSE(pred, truth []float64) float64 {
 	if len(pred) != len(truth) {
+		//lint:allow panicfree shape mismatch is a programmer error; the pipeline constructs matched slices
 		panic(fmt.Sprintf("model: MSE length mismatch %d vs %d", len(pred), len(truth)))
 	}
 	if len(pred) == 0 {
@@ -112,6 +114,7 @@ func RMSE(pred, truth []float64) float64 { return math.Sqrt(MSE(pred, truth)) }
 // MAE returns the mean absolute error.
 func MAE(pred, truth []float64) float64 {
 	if len(pred) != len(truth) {
+		//lint:allow panicfree shape mismatch is a programmer error; the pipeline constructs matched slices
 		panic(fmt.Sprintf("model: MAE length mismatch %d vs %d", len(pred), len(truth)))
 	}
 	if len(pred) == 0 {
@@ -128,6 +131,7 @@ func MAE(pred, truth []float64) float64 {
 // [0, 200].
 func SMAPE(pred, truth []float64) float64 {
 	if len(pred) != len(truth) {
+		//lint:allow panicfree shape mismatch is a programmer error; the pipeline constructs matched slices
 		panic("model: SMAPE length mismatch")
 	}
 	if len(pred) == 0 {

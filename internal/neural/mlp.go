@@ -166,6 +166,7 @@ func (m *MLPClassifier) probsFor(row []float64) []float64 {
 // Predict returns the most likely label per row.
 func (m *MLPClassifier) Predict(x [][]float64) []string {
 	if !m.fitted {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("neural: MLPClassifier.Predict before Fit")
 	}
 	out := make([]string, len(x))
@@ -185,6 +186,7 @@ func (m *MLPClassifier) Predict(x [][]float64) []string {
 // PredictProba returns per-row label probabilities.
 func (m *MLPClassifier) PredictProba(x [][]float64) []map[string]float64 {
 	if !m.fitted {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("neural: MLPClassifier.Predict before Fit")
 	}
 	out := make([]map[string]float64, len(x))

@@ -167,6 +167,7 @@ func (m *Model) Trend(length int) []float64 {
 // TrendAt evaluates the trend at (possibly out-of-sample) index i.
 func (m *Model) TrendAt(i int) float64 {
 	if !m.fitted {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("prophet: TrendAt before Fit")
 	}
 	t := float64(i) / float64(m.n-1)
@@ -186,6 +187,7 @@ func (m *Model) TrendAt(i int) float64 {
 // at index i, reflecting all changepoints before it.
 func (m *Model) Slope(i int) float64 {
 	if !m.fitted {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("prophet: Slope before Fit")
 	}
 	t := float64(i) / float64(m.n-1)

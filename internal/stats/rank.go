@@ -1,5 +1,7 @@
 package stats
 
+import "fmt"
+
 // Ranks returns the 1-based ranks of xs in ascending order (rank 1 is
 // the smallest value), with ties receiving average ranks. Used for the
 // "overall ranking" row of Table 3, where each method is ranked per
@@ -21,6 +23,7 @@ func Ranks(xs []float64) []float64 {
 	ranks := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
+		//lint:allow floateq tie detection compares stored values bitwise; no arithmetic separates them
 		for j < n && xs[idx[j]] == xs[idx[i]] {
 			j++
 		}
@@ -58,10 +61,12 @@ func MRRAtK(predicted [][]string, truth []string, k int) float64 {
 }
 
 // F1Macro computes the macro-averaged F1 score over all labels present
-// in either truth or prediction.
-func F1Macro(pred, truth []string) float64 {
+// in either truth or prediction. Mismatched lengths are a data-shape
+// condition (predictions and ground truth from different splits), so
+// they surface as an error rather than a panic.
+func F1Macro(pred, truth []string) (float64, error) {
 	if len(pred) != len(truth) {
-		panic("stats: F1Macro requires equal-length slices")
+		return 0, fmt.Errorf("stats: F1Macro requires equal-length slices (got %d and %d)", len(pred), len(truth))
 	}
 	labels := map[string]bool{}
 	for _, t := range truth {
@@ -71,7 +76,7 @@ func F1Macro(pred, truth []string) float64 {
 		labels[p] = true
 	}
 	if len(labels) == 0 {
-		return 0
+		return 0, nil
 	}
 	var sum float64
 	for label := range labels {
@@ -96,16 +101,17 @@ func F1Macro(pred, truth []string) float64 {
 		}
 		sum += f1
 	}
-	return sum / float64(len(labels))
+	return sum / float64(len(labels)), nil
 }
 
 // Accuracy returns the fraction of positions where pred equals truth.
-func Accuracy(pred, truth []string) float64 {
+// Like F1Macro, mismatched lengths surface as an error.
+func Accuracy(pred, truth []string) (float64, error) {
 	if len(pred) != len(truth) {
-		panic("stats: Accuracy requires equal-length slices")
+		return 0, fmt.Errorf("stats: Accuracy requires equal-length slices (got %d and %d)", len(pred), len(truth))
 	}
 	if len(pred) == 0 {
-		return 0
+		return 0, nil
 	}
 	var hits float64
 	for i := range pred {
@@ -113,5 +119,5 @@ func Accuracy(pred, truth []string) float64 {
 			hits++
 		}
 	}
-	return hits / float64(len(pred))
+	return hits / float64(len(pred)), nil
 }

@@ -184,7 +184,10 @@ func TestEntropy(t *testing.T) {
 
 func TestWilcoxonIdenticalSamples(t *testing.T) {
 	a := []float64{1, 2, 3, 4}
-	res := WilcoxonSignedRank(a, a)
+	res, err := WilcoxonSignedRank(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.PValue != 1 {
 		t.Errorf("p-value for identical samples = %v, want 1", res.PValue)
 	}
@@ -199,7 +202,10 @@ func TestWilcoxonDetectsShift(t *testing.T) {
 		a[i] = rng.NormFloat64()
 		b[i] = a[i] + 1.5 + 0.1*rng.NormFloat64() // strong consistent shift
 	}
-	res := WilcoxonSignedRank(a, b)
+	res, err := WilcoxonSignedRank(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.PValue > 0.01 {
 		t.Errorf("p-value = %v, want < 0.01 for strong shift", res.PValue)
 	}
@@ -207,7 +213,10 @@ func TestWilcoxonDetectsShift(t *testing.T) {
 	for i := range b {
 		b[i] = a[i] + 0.001*rng.NormFloat64()
 	}
-	res2 := WilcoxonSignedRank(a, b)
+	res2, err := WilcoxonSignedRank(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res2.PValue < 0.001 {
 		t.Errorf("p-value = %v for pure noise, suspiciously small", res2.PValue)
 	}
@@ -217,7 +226,10 @@ func TestWilcoxonExactSmallSample(t *testing.T) {
 	// Classic textbook example: n=6 all-positive differences.
 	a := []float64{125, 115, 130, 140, 140, 115}
 	b := []float64{110, 122, 125, 120, 140, 124}
-	res := WilcoxonSignedRank(a, b)
+	res, err := WilcoxonSignedRank(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// One zero difference dropped → n = 5.
 	if res.N != 5 {
 		t.Fatalf("N = %d, want 5", res.N)
@@ -231,7 +243,10 @@ func TestWilcoxonExactMatchesKnownValue(t *testing.T) {
 	// All n=5 differences positive: W- = 0, exact two-sided p = 2/2^5 = 0.0625.
 	a := []float64{10, 20, 30, 40, 50}
 	b := []float64{9, 18, 27, 36, 45}
-	res := WilcoxonSignedRank(a, b)
+	res, err := WilcoxonSignedRank(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !feq(res.PValue, 0.0625, 1e-12) {
 		t.Errorf("exact p = %v, want 0.0625", res.PValue)
 	}
@@ -273,18 +288,24 @@ func TestMRRAtK(t *testing.T) {
 
 func TestF1MacroPerfectAndWorst(t *testing.T) {
 	truth := []string{"a", "b", "a", "b"}
-	if got := F1Macro(truth, truth); !feq(got, 1, 1e-12) {
-		t.Errorf("perfect F1 = %v", got)
+	if got, err := F1Macro(truth, truth); err != nil || !feq(got, 1, 1e-12) {
+		t.Errorf("perfect F1 = %v (err %v)", got, err)
 	}
 	pred := []string{"b", "a", "b", "a"}
-	if got := F1Macro(pred, truth); got != 0 {
-		t.Errorf("fully wrong F1 = %v, want 0", got)
+	if got, err := F1Macro(pred, truth); err != nil || got != 0 {
+		t.Errorf("fully wrong F1 = %v, want 0 (err %v)", got, err)
+	}
+	if _, err := F1Macro(pred[:1], truth); err == nil {
+		t.Error("mismatched lengths should error")
 	}
 }
 
 func TestAccuracy(t *testing.T) {
-	if got := Accuracy([]string{"a", "b"}, []string{"a", "c"}); got != 0.5 {
-		t.Errorf("Accuracy = %v, want 0.5", got)
+	if got, err := Accuracy([]string{"a", "b"}, []string{"a", "c"}); err != nil || got != 0.5 {
+		t.Errorf("Accuracy = %v, want 0.5 (err %v)", got, err)
+	}
+	if _, err := Accuracy([]string{"a"}, []string{"a", "c"}); err == nil {
+		t.Error("mismatched lengths should error")
 	}
 }
 

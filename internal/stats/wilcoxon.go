@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -20,9 +21,13 @@ type WilcoxonResult struct {
 // (Wilcoxon's original procedure). For n ≤ 25 the exact null
 // distribution is enumerated; beyond that a normal approximation with
 // tie correction and continuity correction is used.
-func WilcoxonSignedRank(a, b []float64) WilcoxonResult {
+//
+// Mismatched sample lengths are a data-shape condition callers can
+// hit when baselines cover different dataset subsets, so it surfaces
+// as an error rather than a panic.
+func WilcoxonSignedRank(a, b []float64) (WilcoxonResult, error) {
 	if len(a) != len(b) {
-		panic("stats: wilcoxon requires equal-length samples")
+		return WilcoxonResult{}, fmt.Errorf("stats: wilcoxon requires equal-length samples (got %d and %d)", len(a), len(b))
 	}
 	type diff struct {
 		abs  float64
@@ -42,7 +47,7 @@ func WilcoxonSignedRank(a, b []float64) WilcoxonResult {
 	}
 	n := len(diffs)
 	if n == 0 {
-		return WilcoxonResult{PValue: 1}
+		return WilcoxonResult{PValue: 1}, nil
 	}
 	sort.Slice(diffs, func(i, j int) bool { return diffs[i].abs < diffs[j].abs })
 
@@ -51,6 +56,7 @@ func WilcoxonSignedRank(a, b []float64) WilcoxonResult {
 	var tieCorrection float64
 	for i := 0; i < n; {
 		j := i
+		//lint:allow floateq tie detection compares stored values bitwise; no arithmetic separates them
 		for j < n && diffs[j].abs == diffs[i].abs {
 			j++
 		}
@@ -75,14 +81,14 @@ func WilcoxonSignedRank(a, b []float64) WilcoxonResult {
 	w := math.Min(wPlus, wMinus)
 
 	if n <= 25 && !hasTies {
-		return WilcoxonResult{W: w, N: n, PValue: wilcoxonExactP(wPlus, n)}
+		return WilcoxonResult{W: w, N: n, PValue: wilcoxonExactP(wPlus, n)}, nil
 	}
 
 	nf := float64(n)
 	meanW := nf * (nf + 1) / 4
 	varW := nf*(nf+1)*(2*nf+1)/24 - tieCorrection/48
 	if varW <= 0 {
-		return WilcoxonResult{W: w, N: n, PValue: 1}
+		return WilcoxonResult{W: w, N: n, PValue: 1}, nil
 	}
 	// Continuity correction toward the mean.
 	z := (w - meanW + 0.5) / math.Sqrt(varW)
@@ -90,7 +96,7 @@ func WilcoxonSignedRank(a, b []float64) WilcoxonResult {
 	if p > 1 {
 		p = 1
 	}
-	return WilcoxonResult{W: w, N: n, Z: z, PValue: p}
+	return WilcoxonResult{W: w, N: n, Z: z, PValue: p}, nil
 }
 
 // wilcoxonExactP enumerates the exact two-sided p-value for the

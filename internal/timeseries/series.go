@@ -169,6 +169,7 @@ func (s *Series) Interpolate() *Series {
 // Slice returns a view-backed sub-series covering [lo, hi).
 func (s *Series) Slice(lo, hi int) *Series {
 	if lo < 0 || hi > len(s.Values) || lo > hi {
+		//lint:allow panicfree mirrors built-in slice bounds semantics; callers index within Len
 		panic(fmt.Sprintf("timeseries: slice [%d,%d) out of range for length %d", lo, hi, len(s.Values)))
 	}
 	sub := &Series{

@@ -151,6 +151,7 @@ func (t *Classifier) bestSplitClf(x [][]float64, y []int, idx []int, parentImp f
 			i := ord[pos]
 			left[y[i]]++
 			right[y[i]]--
+			//lint:allow floateq adjacent sorted feature values compared bitwise to skip zero-width splits
 			if x[ord[pos]][f] == x[ord[pos+1]][f] {
 				continue
 			}
@@ -174,6 +175,7 @@ func (t *Classifier) bestSplitClf(x [][]float64, y []int, idx []int, parentImp f
 // by row.
 func (t *Classifier) PredictProbaOne(row []float64) []float64 {
 	if len(t.nodes) == 0 {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("tree: Predict called before Fit")
 	}
 	cur := 0

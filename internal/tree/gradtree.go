@@ -73,6 +73,7 @@ func (t *GradTree) build(x [][]float64, g, h []float64, idx []int, depth int, rn
 			i := ord[pos]
 			gl += g[i]
 			hl += h[i]
+			//lint:allow floateq adjacent sorted feature values compared bitwise to skip zero-width splits
 			if x[ord[pos]][f] == x[ord[pos+1]][f] {
 				continue
 			}
@@ -114,6 +115,7 @@ func (t *GradTree) build(x [][]float64, g, h []float64, idx []int, depth int, rn
 // PredictOne evaluates the tree on one feature row.
 func (t *GradTree) PredictOne(row []float64) float64 {
 	if len(t.nodes) == 0 {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("tree: GradTree Predict called before Fit")
 	}
 	cur := 0

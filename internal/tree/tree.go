@@ -158,6 +158,7 @@ func (t *Regressor) bestSplitReg(x [][]float64, y []float64, idx []int, parentIm
 			i := ord[pos]
 			lSum += y[i]
 			lSumSq += y[i] * y[i]
+			//lint:allow floateq adjacent sorted feature values compared bitwise to skip zero-width splits
 			if x[ord[pos]][f] == x[ord[pos+1]][f] {
 				continue // cannot split between equal values
 			}
@@ -213,6 +214,7 @@ func (t *Regressor) Predict(x [][]float64) []float64 {
 // PredictOne evaluates the tree on a single feature row.
 func (t *Regressor) PredictOne(row []float64) float64 {
 	if len(t.nodes) == 0 {
+		//lint:allow panicfree Predict before Fit violates the model API contract; the pipeline always fits first
 		panic("tree: Predict called before Fit")
 	}
 	cur := 0

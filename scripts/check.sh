@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# check.sh — the tier-1+ verification gate.
+# check.sh — the tier-1+ verification gate:
 #
-# Runs the tier-1 checks (build + full test suite) and then the race
-# detector over the whole module. The federated substrate performs
-# concurrent quorum broadcasts racing against retries, timeouts, and
-# transport shutdown, so -race is part of the bar, not an extra.
+#   build → vet → gofmt → fedlint → test → race
+#
+# Runs the tier-1 checks (build + full test suite), the formatting and
+# project-lint gates, and then the race detector over the whole
+# module. The federated substrate performs concurrent quorum
+# broadcasts racing against retries, timeouts, and transport shutdown,
+# so -race is part of the bar, not an extra; likewise the fedlint
+# determinism/hygiene rules (see DESIGN.md "Determinism policy").
 #
 # Usage:
 #   scripts/check.sh          # build, test, race-test everything
@@ -18,6 +22,17 @@ go build ./...
 
 echo "==> go vet ./..."
 go vet ./...
+
+echo "==> gofmt -l ."
+unformatted="$(gofmt -l .)"
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt: unformatted files:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> fedlint ./..."
+go run ./cmd/fedlint ./...
 
 echo "==> go test ./..."
 go test ./...
