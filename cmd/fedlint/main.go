@@ -1,12 +1,16 @@
 // Command fedlint runs FedForecaster's project-specific static
-// analyzers over the module: determinism (seededrand, walltime),
-// numeric safety (floateq), and error hygiene (errdrop, panicfree).
+// analyzers over the module: determinism (seededrand, walltime,
+// maporder), numeric safety (floateq), error hygiene (errdrop,
+// panicfree), and the interprocedural privacy-boundary check
+// (privacyflow).
 //
 // Usage:
 //
 //	go run ./cmd/fedlint ./...            # analyze the whole module
 //	go run ./cmd/fedlint ./internal/...   # restrict to a subtree
 //	go run ./cmd/fedlint -list            # describe the rules
+//	go run ./cmd/fedlint -json ./...      # one JSON diagnostic per line
+//	go run ./cmd/fedlint -graph ./...     # module call graph in DOT form
 //	go run ./cmd/fedlint -fixture internal/lint/testdata/src/errdrop
 //	                                      # lint one standalone fixture dir
 //
@@ -20,9 +24,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -34,8 +40,10 @@ func main() {
 	root := flag.String("root", ".", "module root (directory containing go.mod)")
 	list := flag.Bool("list", false, "list the registered rules and exit")
 	fixture := flag.String("fixture", "", "lint one standalone package directory (no go.mod) instead of the module")
+	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic per line (file/line/col/rule/message/chain)")
+	graph := flag.Bool("graph", false, "emit the call graph of the selected packages in Graphviz DOT form and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: fedlint [-root dir] [-fixture dir] [-list] [packages]\n\n"+
+		fmt.Fprintf(os.Stderr, "usage: fedlint [-root dir] [-fixture dir] [-list] [-json] [-graph] [packages]\n\n"+
 			"Patterns are module-relative: ./... (default), ./internal/..., ./internal/fl.\n")
 		flag.PrintDefaults()
 	}
@@ -50,7 +58,7 @@ func main() {
 	}
 
 	if *fixture != "" {
-		os.Exit(runFixture(*fixture, analyzers))
+		os.Exit(runFixture(os.Stdout, *fixture, analyzers, *jsonOut, *graph))
 	}
 
 	fset, pkgs, modPath, err := lint.LoadModule(*root)
@@ -65,22 +73,82 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *graph {
+		os.Exit(emitGraph(os.Stdout, fset, selected))
+	}
+
 	findings := lint.Run(fset, selected, analyzers, lint.DefaultConfig(modPath))
+	os.Exit(report(os.Stdout, findings, *jsonOut))
+}
+
+// diagJSON is the stable JSON-lines schema of -json output. Field
+// names and order are part of the tool's contract; the driver test
+// pins them.
+type diagJSON struct {
+	File    string   `json:"file"`
+	Line    int      `json:"line"`
+	Col     int      `json:"col"`
+	Rule    string   `json:"rule"`
+	Message string   `json:"message"`
+	Chain   []string `json:"chain,omitempty"`
+}
+
+// writeFindings renders findings in the canonical text form or as one
+// JSON object per line.
+func writeFindings(w io.Writer, findings []lint.Finding, asJSON bool) error {
+	if !asJSON {
+		for _, f := range findings {
+			if _, err := fmt.Fprintln(w, f.String()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	enc := json.NewEncoder(w)
 	for _, f := range findings {
-		fmt.Println(f.String())
+		d := diagJSON{
+			File:    f.Pos.Filename,
+			Line:    f.Pos.Line,
+			Col:     f.Pos.Column,
+			Rule:    f.Rule,
+			Message: f.Message,
+			Chain:   f.Chain,
+		}
+		if err := enc.Encode(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// report renders findings and returns the process exit code
+// (0 clean, 1 findings, 2 write error).
+func report(w io.Writer, findings []lint.Finding, asJSON bool) int {
+	if err := writeFindings(w, findings, asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "fedlint:", err)
+		return 2
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "fedlint: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// emitGraph writes the packages' call graph in DOT form.
+func emitGraph(w io.Writer, fset *token.FileSet, pkgs []*lint.Package) int {
+	if err := lint.BuildCallGraph(fset, pkgs).WriteDOT(w); err != nil {
+		fmt.Fprintln(os.Stderr, "fedlint:", err)
+		return 2
+	}
+	return 0
 }
 
 // runFixture lints one standalone package directory — the golden
 // fixtures under internal/lint/testdata — under the same policy the
-// driver tests use: the default config with the fixture's import path
-// registered as a walltime-scoped package. Returns the process exit
+// driver tests use (lint.FixtureConfig). Returns the process exit
 // code (0 clean, 1 findings, 2 load error).
-func runFixture(dir string, analyzers []*lint.Analyzer) int {
+func runFixture(w io.Writer, dir string, analyzers []*lint.Analyzer, asJSON, graph bool) int {
 	fset := token.NewFileSet()
 	ip := "fixture/" + filepath.Base(filepath.Clean(dir))
 	pkg, err := lint.LoadDir(fset, dir, ip)
@@ -88,17 +156,11 @@ func runFixture(dir string, analyzers []*lint.Analyzer) int {
 		fmt.Fprintln(os.Stderr, "fedlint:", err)
 		return 2
 	}
-	cfg := lint.DefaultConfig("fixture")
-	cfg.WalltimePkgs[ip] = true
-	findings := lint.Run(fset, []*lint.Package{pkg}, analyzers, cfg)
-	for _, f := range findings {
-		fmt.Println(f.String())
+	if graph {
+		return emitGraph(w, fset, []*lint.Package{pkg})
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "fedlint: %d finding(s)\n", len(findings))
-		return 1
-	}
-	return 0
+	findings := lint.Run(fset, []*lint.Package{pkg}, analyzers, lint.FixtureConfig(ip))
+	return report(w, findings, asJSON)
 }
 
 // selectPackages filters the loaded packages by the command-line

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"fedforecaster/internal/lint"
+)
+
+const (
+	privacyFixture   = "../../internal/lint/testdata/src/privacyflow"
+	callgraphFixture = "../../internal/lint/testdata/src/callgraph"
+)
+
+// jsonFixtureOutput runs the privacyflow fixture through the real
+// driver path in -json mode and returns the emitted lines.
+func jsonFixtureOutput(t *testing.T) (string, int) {
+	t.Helper()
+	var buf bytes.Buffer
+	code := runFixture(&buf, privacyFixture, lint.Analyzers(), true, false)
+	return buf.String(), code
+}
+
+// TestJSONSchema: every -json line is a standalone JSON object with
+// exactly the documented fields, and privacyflow diagnostics carry a
+// non-empty source→sink chain.
+func TestJSONSchema(t *testing.T) {
+	out, code := jsonFixtureOutput(t)
+	if code != 1 {
+		t.Fatalf("runFixture exit = %d, want 1 (fixture contains deliberate findings)", code)
+	}
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no JSON diagnostics emitted")
+	}
+	allowed := map[string]bool{
+		"file": true, "line": true, "col": true,
+		"rule": true, "message": true, "chain": true,
+	}
+	sawChain := false
+	for _, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line is not valid JSON: %q: %v", line, err)
+		}
+		var keys []string
+		for k := range obj {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if !allowed[k] {
+				t.Errorf("unexpected JSON field %q in %q", k, line)
+			}
+		}
+		for _, req := range []string{"file", "line", "col", "rule", "message"} {
+			if _, ok := obj[req]; !ok {
+				t.Errorf("JSON line missing required field %q: %q", req, line)
+			}
+		}
+		if obj["rule"] == "privacyflow" {
+			chain, ok := obj["chain"].([]any)
+			if !ok || len(chain) < 2 {
+				t.Errorf("privacyflow diagnostic without a source→sink chain: %q", line)
+			}
+			sawChain = true
+		}
+	}
+	if !sawChain {
+		t.Error("fixture run produced no privacyflow diagnostic with a chain")
+	}
+}
+
+// TestJSONDeterministic: repeated runs are byte-identical — the
+// schema is usable as a stable machine interface.
+func TestJSONDeterministic(t *testing.T) {
+	first, _ := jsonFixtureOutput(t)
+	for i := 0; i < 3; i++ {
+		if got, _ := jsonFixtureOutput(t); got != first {
+			t.Fatalf("-json output diverged on run %d:\n%s\nwant:\n%s", i+2, got, first)
+		}
+	}
+}
+
+// dotEdgeRe matches one DOT edge line as WriteDOT renders it.
+var dotEdgeRe = regexp.MustCompile(`^  "[^"]+" -> "[^"]+"( \[style=(dashed|dotted)\])?;$`)
+
+// TestGraphDOT: -graph output parses (header, balanced braces, edge
+// grammar) and node declarations appear in sorted order.
+func TestGraphDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if code := runFixture(&buf, callgraphFixture, lint.Analyzers(), false, true); code != 0 {
+		t.Fatalf("runFixture -graph exit = %d, want 0", code)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if lines[0] != "digraph fedlint {" || lines[len(lines)-1] != "}" {
+		t.Fatalf("DOT output not framed as a digraph:\n%s", out)
+	}
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Fatalf("DOT braces unbalanced:\n%s", out)
+	}
+	var nodes []string
+	for _, line := range lines[1 : len(lines)-1] {
+		switch {
+		case strings.HasPrefix(line, "  rankdir"):
+		case strings.Contains(line, " -> "):
+			if !dotEdgeRe.MatchString(line) {
+				t.Errorf("malformed edge line: %q", line)
+			}
+		case strings.HasPrefix(line, `  "`):
+			name := line[3 : strings.Index(line[3:], `"`)+3]
+			nodes = append(nodes, name)
+		default:
+			t.Errorf("unrecognized DOT line: %q", line)
+		}
+	}
+	if len(nodes) == 0 {
+		t.Fatal("DOT output declares no nodes")
+	}
+	if !sort.StringsAreSorted(nodes) {
+		t.Errorf("node declarations not in sorted order: %v", nodes)
+	}
+}
+
+// TestGraphDeterministic: two independent -graph runs agree byte for
+// byte.
+func TestGraphDeterministic(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		if code := runFixture(&buf, callgraphFixture, lint.Analyzers(), false, true); code != 0 {
+			t.Fatalf("runFixture -graph exit = %d, want 0", code)
+		}
+		return buf.String()
+	}
+	first := render()
+	if got := render(); got != first {
+		t.Fatalf("-graph output diverged:\n%s\nwant:\n%s", got, first)
+	}
+}
+
+// TestTextAndJSONAgree: both output modes describe the same findings
+// at the same positions.
+func TestTextAndJSONAgree(t *testing.T) {
+	var text bytes.Buffer
+	runFixture(&text, privacyFixture, lint.Analyzers(), false, false)
+	jsonOut, _ := jsonFixtureOutput(t)
+	textLines := strings.Split(strings.TrimSpace(text.String()), "\n")
+	jsonLines := strings.Split(strings.TrimSpace(jsonOut), "\n")
+	if len(textLines) != len(jsonLines) {
+		t.Fatalf("text mode has %d findings, json mode %d", len(textLines), len(jsonLines))
+	}
+	for i, jl := range jsonLines {
+		var d diagJSON
+		if err := json.Unmarshal([]byte(jl), &d); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if !strings.Contains(textLines[i], d.Rule) || !strings.Contains(textLines[i], d.Message) {
+			t.Errorf("text line %q does not match json diagnostic %+v", textLines[i], d)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package bayesopt
 import (
 	"math"
 	"math/rand"
+	"sort"
 
 	"fedforecaster/internal/search"
 )
@@ -83,9 +84,17 @@ func (o *Optimizer) Next() search.Config {
 	// GP-EI over all spaces on *globally standardized* losses, so
 	// subspaces with few observations (or very different loss scales)
 	// compete on one objective and retain a sane exploration scale.
+	// Collect losses in sorted-algorithm order: float summation is not
+	// associative, so the map's iteration order must not reach the
+	// global mean/stddev.
+	algos := make([]string, 0, len(o.obs))
+	for a := range o.obs {
+		algos = append(algos, a)
+	}
+	sort.Strings(algos)
 	var all []float64
-	for _, so := range o.obs {
-		all = append(all, so.y...)
+	for _, a := range algos {
+		all = append(all, o.obs[a].y...)
 	}
 	gMean := mean(all)
 	gStd := stddev(all, gMean)

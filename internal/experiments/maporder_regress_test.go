@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// TestArgmaxCountDeterministicOnTies is the regression test for the
+// maporder finding in argmaxCount: with tied counts the winner used to
+// depend on map iteration order. It must now always be the
+// lexicographically smallest key, byte-identical across runs.
+func TestArgmaxCountDeterministicOnTies(t *testing.T) {
+	m := map[string]int{"theta": 4, "arima": 4, "ets": 4, "naive": 4}
+	for run := 0; run < 100; run++ {
+		if got := argmaxCount(m); got != "arima" {
+			t.Fatalf("run %d: argmaxCount = %q, want %q", run, got, "arima")
+		}
+	}
+}
+
+// TestArgmaxCountStrictMax verifies a strict maximum still wins
+// regardless of key order.
+func TestArgmaxCountStrictMax(t *testing.T) {
+	m := map[string]int{"zeta": 9, "alpha": 3, "mid": 7}
+	for run := 0; run < 100; run++ {
+		if got := argmaxCount(m); got != "zeta" {
+			t.Fatalf("run %d: argmaxCount = %q, want %q", run, got, "zeta")
+		}
+	}
+}

@@ -11,6 +11,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"time"
 
@@ -303,10 +304,17 @@ func contains(xs []string, s string) bool {
 }
 
 func argmaxCount(m map[string]int) string {
+	// Sorted keys make the scan order (and thus the winner on ties)
+	// independent of map iteration order.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	best, bestC := "", -1
-	for k, c := range m {
-		if c > bestC || (c == bestC && k < best) {
-			best, bestC = k, c
+	for _, k := range keys {
+		if m[k] > bestC {
+			best, bestC = k, m[k]
 		}
 	}
 	return best

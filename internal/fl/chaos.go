@@ -168,6 +168,11 @@ func (t *ChaosTransport) Call(i int, req Message) (Message, error) {
 
 // corruptMessage returns a garbled copy of the response: all scalars
 // NaN and a tagged kind, leaving the original maps unshared.
+//
+// maporder audit note: the range below writes through the iterated key
+// into a fresh map (key→key copy), so iteration order cannot affect
+// the result; the lint rule exempts map-keyed writes for exactly this
+// shape. TestCorruptMessageDeterministic pins it.
 func corruptMessage(m Message) Message {
 	out := m
 	out.Kind = m.Kind + "!corrupt"

@@ -1,0 +1,42 @@
+package fl
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCorruptMessageDeterministic is the maporder audit companion for
+// corruptMessage: its range over m.Scalars writes through the same key
+// into a fresh map, which is order-independent by construction (the
+// lint rule correctly stays silent). This pins that behavior: across
+// repeated runs the corrupted copy has exactly the original key set,
+// every value NaN, a tagged kind, and the original message untouched.
+// reflect.DeepEqual is useless here (NaN != NaN), so the comparison is
+// key-set plus per-value IsNaN.
+func TestCorruptMessageDeterministic(t *testing.T) {
+	orig := Message{
+		Kind:    "features",
+		Scalars: map[string]float64{"trend": 0.4, "season": -1.2, "entropy": 3.5, "acf1": 0.9},
+	}
+	for run := 0; run < 100; run++ {
+		got := corruptMessage(orig)
+		if got.Kind != "features!corrupt" {
+			t.Fatalf("run %d: Kind = %q, want %q", run, got.Kind, "features!corrupt")
+		}
+		if len(got.Scalars) != len(orig.Scalars) {
+			t.Fatalf("run %d: corrupted copy has %d scalars, want %d", run, len(got.Scalars), len(orig.Scalars))
+		}
+		for k, v := range got.Scalars {
+			if _, ok := orig.Scalars[k]; !ok {
+				t.Fatalf("run %d: corrupted copy has unknown key %q", run, k)
+			}
+			if !math.IsNaN(v) {
+				t.Fatalf("run %d: Scalars[%q] = %v, want NaN", run, k, v)
+			}
+		}
+		// The original must be unshared and unmodified.
+		if orig.Kind != "features" || orig.Scalars["trend"] != 0.4 {
+			t.Fatalf("run %d: corruptMessage mutated its input: %+v", run, orig)
+		}
+	}
+}

@@ -122,10 +122,17 @@ func (m *LogisticRegression) Predict(x [][]float64) []string {
 	probas := m.PredictProba(x)
 	out := make([]string, len(x))
 	for i, dist := range probas {
+		// Scan labels in sorted order: ties on probability must not be
+		// broken by map iteration order.
+		labels := make([]string, 0, len(dist))
+		for l := range dist {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
 		best, bestP := "", -1.0
-		for l, p := range dist {
-			if p > bestP {
-				best, bestP = l, p
+		for _, l := range labels {
+			if dist[l] > bestP {
+				best, bestP = l, dist[l]
 			}
 		}
 		out[i] = best

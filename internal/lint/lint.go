@@ -15,6 +15,15 @@
 //	errdrop     no silently discarded error returns
 //	panicfree   no panic/os.Exit/log.Fatal in library packages
 //	walltime    no wall-clock reads in deterministic algorithm packages
+//	maporder    no map iteration order reaching order-sensitive state
+//	privacyflow no raw series data crossing the federated boundary
+//
+// The first five are intraprocedural and run per package. privacyflow
+// is interprocedural: it builds a module-wide call graph (callgraph.go)
+// with type-based resolution of interface calls, then runs a
+// field-sensitive taint analysis (taint.go) from raw-series sources to
+// fl.Message sinks, with an allowlist of aggregating sanitizers — the
+// paper's privacy model checked as code.
 //
 // Deliberate violations are annotated in the source with
 //
@@ -40,6 +49,10 @@ type Finding struct {
 	Pos     token.Position
 	Rule    string
 	Message string
+	// Chain is the source→sink call chain for interprocedural rules
+	// (privacyflow); empty for single-site diagnostics. Each entry is
+	// "name (file:line)" from source to sink.
+	Chain []string
 }
 
 // String renders the canonical file:line:col: rule: message form.
@@ -72,6 +85,27 @@ type Config struct {
 	// FloatEqAllowFuncs names tolerance-helper functions inside which
 	// floating-point ==/!= is permitted (they implement the tolerance).
 	FloatEqAllowFuncs map[string]bool
+
+	// PrivacySourceTypes names the raw-data types (qualified
+	// "pkgpath.Name") whose values must never reach a privacy sink.
+	// Pointers, slices, and arrays of a source type are raw-bearing too.
+	PrivacySourceTypes map[string]bool
+	// PrivacySinkTypes names the boundary-crossing message types:
+	// storing a tainted value into any field (or field map/slice) of a
+	// sink type is a privacy violation.
+	PrivacySinkTypes map[string]bool
+	// PrivacySinkFuncs lists functions (types.Func.FullName form) whose
+	// arguments cross the boundary directly — transports and encoders.
+	PrivacySinkFuncs map[string]bool
+	// PrivacySanitizers lists aggregating functions (FullName form)
+	// whose results are considered aggregate statistics, not raw data:
+	// taint does not propagate through them.
+	PrivacySanitizers map[string]bool
+
+	// MapOrderSortFuncs lists sorting functions that launder map
+	// iteration order: a map-range loop that only appends to a slice
+	// later passed to one of these is the sanctioned sorted-keys idiom.
+	MapOrderSortFuncs map[string]bool
 }
 
 // DefaultConfig returns the FedForecaster policy: walltime applies to
@@ -103,7 +137,62 @@ func DefaultConfig(modulePath string) Config {
 			"almostEqual": true, "approxEqual": true, "floatsEqual": true,
 			"EqualTol": true, "withinTol": true,
 		},
+		PrivacySourceTypes: map[string]bool{
+			modulePath + "/internal/timeseries.Series": true,
+		},
+		PrivacySinkTypes: map[string]bool{
+			modulePath + "/internal/fl.Message": true,
+		},
+		PrivacySinkFuncs: map[string]bool{
+			"(" + modulePath + "/internal/fl.Transport).Call": true,
+			"(*encoding/gob.Encoder).Encode":                  true,
+		},
+		PrivacySanitizers: map[string]bool{
+			// Aggregating reductions: their results are the scalar
+			// statistics the paper's privacy model permits to cross the
+			// client→server boundary (see DESIGN.md "Privacy policy as
+			// code" for the extension procedure).
+			modulePath + "/internal/metafeat.ExtractClient":                    true,
+			modulePath + "/internal/metafeat.Aggregate":                        true,
+			modulePath + "/internal/metalearn.BuildRecord":                     true,
+			modulePath + "/internal/metafeat.Privatize":                        true,
+			modulePath + "/internal/pipeline.ClientLoss":                       true,
+			modulePath + "/internal/features.ClientImportances":                true,
+			"(*" + modulePath + "/internal/timeseries.Series).Len":             true,
+			"(*" + modulePath + "/internal/timeseries.Series).MissingFraction": true,
+		},
+		MapOrderSortFuncs: mapOrderSortFuncs(),
 	}
+}
+
+// mapOrderSortFuncs returns the default set of order-laundering sort
+// functions recognized by the maporder rule.
+func mapOrderSortFuncs() map[string]bool {
+	return map[string]bool{
+		"sort.Strings": true, "sort.Ints": true, "sort.Float64s": true,
+		"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true,
+		"sort.Stable": true, "slices.Sort": true, "slices.SortFunc": true,
+		"slices.SortStableFunc": true,
+	}
+}
+
+// FixtureConfig returns the policy the golden fixtures (and the
+// -fixture CLI mode) are linted under: the default config with every
+// given fixture import path registered as a walltime-scoped package
+// and bound to the fixture privacy conventions — a fixture package may
+// declare `Series` (source type), `Message` (sink type), `Send` (sink
+// function), and `Aggregate` (sanitizer) to exercise privacyflow
+// without importing the real module packages.
+func FixtureConfig(importPaths ...string) Config {
+	cfg := DefaultConfig("fixture")
+	for _, ip := range importPaths {
+		cfg.WalltimePkgs[ip] = true
+		cfg.PrivacySourceTypes[ip+".Series"] = true
+		cfg.PrivacySinkTypes[ip+".Message"] = true
+		cfg.PrivacySinkFuncs[ip+".Send"] = true
+		cfg.PrivacySanitizers[ip+".Aggregate"] = true
+	}
+	return cfg
 }
 
 // isLibraryPackage reports whether pkg is subject to library-only
@@ -120,11 +209,16 @@ func (c Config) isLibraryPackage(pkg *Package) bool {
 	return true
 }
 
-// Analyzer is one lint rule.
+// Analyzer is one lint rule. Exactly one of Run (per-package,
+// intraprocedural) or RunModule (whole-module, interprocedural) is
+// set.
 type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(*Pass)
+	// RunModule analyzes every package of the run at once — for rules
+	// that need the module-wide call graph and cross-package dataflow.
+	RunModule func(*ModulePass)
 }
 
 // Pass hands one type-checked package to one analyzer and collects
@@ -146,43 +240,104 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzers returns the full registry in a fixed order.
-func Analyzers() []*Analyzer {
-	return []*Analyzer{SeededRand, FloatEq, ErrDrop, PanicFree, Walltime}
+// ModulePass hands the whole run — every type-checked package — to a
+// module-level analyzer.
+type ModulePass struct {
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	Config   Config
+	rule     string
+	findings []Finding
 }
 
-// Run executes the analyzers over every package — one goroutine per
-// package, findings merged deterministically — applies the
-// //lint:allow suppression comments, and returns the surviving
-// diagnostics sorted by position then rule.
+// Reportf records a diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.findings = append(p.findings, Finding{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportChain records a diagnostic at pos carrying a source→sink call
+// chain (each entry "name (file:line)").
+func (p *ModulePass) ReportChain(pos token.Pos, chain []string, format string, args ...any) {
+	p.findings = append(p.findings, Finding{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+		Chain:   chain,
+	})
+}
+
+// Analyzers returns the full registry in a fixed order: the
+// per-package rules first, then the module-level privacy rule.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{SeededRand, FloatEq, ErrDrop, PanicFree, Walltime, MapOrder, PrivacyFlow}
+}
+
+// Run executes the analyzers over every package — per-package rules
+// one goroutine per package, module rules once over the whole set,
+// findings merged deterministically — applies the //lint:allow
+// suppression comments, and returns the surviving diagnostics sorted
+// by position then rule.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, cfg Config) []Finding {
 	known := map[string]bool{}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+
+	// Suppression directives are collected once per package; malformed
+	// directives surface as "directive" findings.
+	sups := make([]*suppressions, len(pkgs))
+	var all []Finding
+	for i, pkg := range pkgs {
+		var df []Finding
+		sups[i], df = collectDirectives(fset, pkg, known)
+		all = append(all, df...)
+	}
+
 	perPkg := make([][]Finding, len(pkgs))
 	var wg sync.WaitGroup
 	for i, pkg := range pkgs {
 		wg.Add(1)
 		go func(i int, pkg *Package) {
 			defer wg.Done()
-			perPkg[i] = runPackage(fset, pkg, analyzers, cfg, known)
+			perPkg[i] = runPackage(fset, pkg, analyzers, cfg, sups[i])
 		}(i, pkg)
 	}
 	wg.Wait()
-	var all []Finding
 	for _, fs := range perPkg {
 		all = append(all, fs...)
 	}
+
+	merged := mergeSuppressions(sups)
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{Fset: fset, Pkgs: pkgs, Config: cfg, rule: a.Name}
+		a.RunModule(mp)
+		for _, f := range mp.findings {
+			if merged.allowed(f.Pos, f.Rule) {
+				continue
+			}
+			all = append(all, f)
+		}
+	}
+
 	sortFindings(all)
 	return all
 }
 
-// runPackage runs every analyzer over one package and filters the
-// findings through the package's suppression directives.
-func runPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, cfg Config, known map[string]bool) []Finding {
-	sup, findings := collectDirectives(fset, pkg, known)
+// runPackage runs every per-package analyzer over one package and
+// filters the findings through the package's suppression directives.
+func runPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, cfg Config, sup *suppressions) []Finding {
+	var findings []Finding
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		pass := &Pass{Fset: fset, Pkg: pkg, Config: cfg, rule: a.Name}
 		a.Run(pass)
 		for _, f := range pass.findings {

@@ -27,7 +27,7 @@ type expectation struct {
 
 // fixtureRules are the analyzer fixtures under testdata/src, one
 // directory per rule.
-var fixtureRules = []string{"seededrand", "floateq", "errdrop", "panicfree", "walltime"}
+var fixtureRules = []string{"seededrand", "floateq", "errdrop", "panicfree", "walltime", "maporder", "privacyflow"}
 
 // loadFixture parses and type-checks testdata/src/<name> under the
 // import path fixture/<name>.
@@ -41,13 +41,15 @@ func loadFixture(t *testing.T, fset *token.FileSet, name string) *Package {
 	return pkg
 }
 
-// fixtureConfig is the policy the fixtures are written against: the
-// default config with the walltime fixture registered as a
-// deterministic package.
+// fixtureConfig is the policy the fixtures are written against: every
+// fixture package registered as a deterministic package and bound to
+// the fixture privacy conventions (Series/Message/Send/Aggregate).
 func fixtureConfig() Config {
-	cfg := DefaultConfig("fixture")
-	cfg.WalltimePkgs["fixture/walltime"] = true
-	return cfg
+	ips := make([]string, 0, len(fixtureRules))
+	for _, r := range fixtureRules {
+		ips = append(ips, "fixture/"+r)
+	}
+	return FixtureConfig(ips...)
 }
 
 // readExpectations scans every fixture file in testdata/src/<name> for
@@ -134,6 +136,8 @@ func TestExactPositions(t *testing.T) {
 		{"errdrop", "mayFail() // want", "mayFail()"},
 		{"panicfree", `panic("negative")`, "panic"},
 		{"walltime", "return time.Now() // want", "Now"},
+		{"maporder", `range m { // want maporder "float accumulation"`, "for"},
+		{"privacyflow", `m.Floats["raw"] = n.data.Values`, "m.Floats"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {

@@ -268,6 +268,7 @@ func typeCheck(fset *token.FileSet, pkg *Package, imp types.Importer) error {
 		Uses:       map[*ast.Ident]types.Object{},
 		Defs:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
 	}
 	conf := types.Config{Importer: imp}
 	tpkg, err := conf.Check(pkg.ImportPath, fset, pkg.Files, info)

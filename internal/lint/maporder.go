@@ -1,0 +1,432 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` loops over maps whose iteration order can
+// leak into observable results — the federated-aggregation
+// nondeterminism class that seeded-RNG rules cannot catch, because no
+// randomness API is involved: Go randomizes map iteration order on
+// purpose, and floating-point addition is not associative, so the
+// same aggregate summed in two different orders yields two different
+// bit patterns.
+//
+// Inside a map-range body the rule reports, at the `for` statement:
+//
+//   - compound accumulation (+=, -=, *=, /=) of float or string values
+//     into variables declared outside the loop — the canonical
+//     order-sensitive reduction; integer accumulation is exact and
+//     commutative, hence exempt;
+//   - appends of loop-derived values into an outer slice, unless that
+//     slice is later passed to a recognized sorting function in the
+//     same function body (the sanctioned collect-then-sort idiom);
+//   - stream encoding: fmt.Print*/Fprint*, Buffer/Builder writes, and
+//     gob/json Encode calls whose arguments depend on the loop
+//     variables — emitted bytes would follow map order;
+//   - plain writes into outer variables whose right-hand side mentions
+//     the loop key — last-write-wins selection (argmax/argmin without
+//     a total order) depends on which key the runtime visits last.
+//
+// Writes indexed by a loop-derived key (out[k] = f(v)) are exempt:
+// each iteration touches a distinct element, so the final state is
+// order-independent.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration order reaching order-sensitive state",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !p.isMapRange(rs) {
+					return true
+				}
+				p.checkMapRange(fd, rs)
+				return true
+			})
+		}
+	}
+}
+
+// isMapRange reports whether rs ranges over a map value.
+func (p *Pass) isMapRange(rs *ast.RangeStmt) bool {
+	tv, ok := p.Pkg.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// mapRangeCheck is the per-loop analysis state.
+type mapRangeCheck struct {
+	pass *Pass
+	fd   *ast.FuncDecl
+	rs   *ast.RangeStmt
+	// tracked holds the loop variables and everything derived from them
+	// inside the body; keyObjs is the subset bound to the range key.
+	tracked map[types.Object]bool
+	keyObjs map[types.Object]bool
+	seen    map[string]bool
+}
+
+func (p *Pass) checkMapRange(fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	c := &mapRangeCheck{
+		pass:    p,
+		fd:      fd,
+		rs:      rs,
+		tracked: map[types.Object]bool{},
+		keyObjs: map[types.Object]bool{},
+		seen:    map[string]bool{},
+	}
+	if obj := objOf(p.Pkg.Info, rs.Key); obj != nil {
+		c.tracked[obj] = true
+		c.keyObjs[obj] = true
+	}
+	if obj := objOf(p.Pkg.Info, rs.Value); obj != nil {
+		c.tracked[obj] = true
+	}
+	c.collectDerived()
+	c.inspectBody()
+}
+
+// objOf resolves a range key/value expression to its variable object.
+func objOf(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return info.ObjectOf(id)
+}
+
+// collectDerived grows the tracked set with variables defined inside
+// the loop body from tracked values (two sweeps bound chained
+// derivations; deeper chains are a documented approximation).
+func (c *mapRangeCheck) collectDerived() {
+	for sweep := 0; sweep < 2; sweep++ {
+		ast.Inspect(c.rs.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if st.Tok != token.DEFINE {
+					return true
+				}
+				derived := false
+				for _, r := range st.Rhs {
+					if c.mentionsTracked(r) {
+						derived = true
+					}
+				}
+				if !derived {
+					return true
+				}
+				for _, l := range st.Lhs {
+					if obj := objOf(c.pass.Pkg.Info, l); obj != nil {
+						c.tracked[obj] = true
+					}
+				}
+			case *ast.RangeStmt:
+				if st == c.rs || !c.mentionsTracked(st.X) {
+					return true
+				}
+				if obj := objOf(c.pass.Pkg.Info, st.Key); obj != nil {
+					c.tracked[obj] = true
+				}
+				if obj := objOf(c.pass.Pkg.Info, st.Value); obj != nil {
+					c.tracked[obj] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// mentionsTracked reports whether the expression references any
+// tracked variable.
+func (c *mapRangeCheck) mentionsTracked(e ast.Expr) bool {
+	return c.mentions(e, c.tracked)
+}
+
+func (c *mapRangeCheck) mentions(e ast.Expr, set map[types.Object]bool) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.pass.Pkg.Info.ObjectOf(id); obj != nil && set[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// inspectBody runs every category check over the loop body.
+func (c *mapRangeCheck) inspectBody() {
+	ast.Inspect(c.rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			c.checkAssign(st)
+		case *ast.CallExpr:
+			c.checkStream(st)
+		}
+		return true
+	})
+}
+
+// report emits one deduplicated finding at the `for` statement.
+func (c *mapRangeCheck) report(category, detail string) {
+	key := category + "|" + detail
+	if c.seen[key] {
+		return
+	}
+	c.seen[key] = true
+	c.pass.Reportf(c.rs.For,
+		"map iteration order reaches %s (%s); iterate over sorted keys or annotate //lint:allow maporder <reason>",
+		category, detail)
+}
+
+// checkAssign classifies one assignment inside the loop body.
+func (c *mapRangeCheck) checkAssign(st *ast.AssignStmt) {
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+			return
+		}
+		c.checkAccum(st.Lhs[0], st.Rhs[0])
+	case token.ASSIGN:
+		c.checkPlainAssign(st)
+	}
+}
+
+// checkAccum flags order-sensitive compound accumulation into an
+// outer float or string variable.
+func (c *mapRangeCheck) checkAccum(lhs, rhs ast.Expr) {
+	if !c.mentionsTracked(rhs) {
+		return // accumulating a loop-independent constant is order-free
+	}
+	name, ok := c.outerTarget(lhs)
+	if !ok {
+		return
+	}
+	t := c.pass.Pkg.Info.Types[lhs].Type
+	if t == nil {
+		return
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return
+	}
+	switch {
+	case basic.Info()&types.IsFloat != 0, basic.Info()&types.IsComplex != 0:
+		c.report("float accumulation", "into "+name)
+	case basic.Info()&types.IsString != 0:
+		c.report("string concatenation", "into "+name)
+	}
+	// Integer accumulation is exact and commutative: order-free.
+}
+
+// checkPlainAssign flags appends of loop-derived values into outer
+// slices (minus the collect-then-sort idiom) and last-write-wins
+// stores keyed on the loop key.
+func (c *mapRangeCheck) checkPlainAssign(st *ast.AssignStmt) {
+	// Appends: out = append(out, <loop-derived>).
+	if len(st.Lhs) == 1 && len(st.Rhs) == 1 {
+		if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok && c.isAppend(call) {
+			argsTracked := false
+			for _, a := range call.Args[1:] {
+				if c.mentionsTracked(a) {
+					argsTracked = true
+				}
+			}
+			if !argsTracked {
+				return
+			}
+			name, ok := c.outerTarget(st.Lhs[0])
+			if !ok {
+				return
+			}
+			if obj := rootObj(c.pass.Pkg.Info, st.Lhs[0]); obj != nil && c.sortedAfterLoop(obj) {
+				return // the sanctioned sorted-keys pattern
+			}
+			c.report("slice append", "into "+name+" without a subsequent sort")
+			return
+		}
+	}
+	// Last-write-wins selection: the stored value depends on the key.
+	keyed := false
+	for _, r := range st.Rhs {
+		if c.mentions(r, c.keyObjs) {
+			keyed = true
+		}
+	}
+	if !keyed {
+		return
+	}
+	for _, l := range st.Lhs {
+		if name, ok := c.outerTarget(l); ok {
+			c.report("an order-dependent write", "to "+name)
+			return
+		}
+	}
+}
+
+// isAppend reports whether call is the append builtin.
+func (c *mapRangeCheck) isAppend(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	b, ok := c.pass.Pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// outerTarget reports whether lhs writes order-sensitive state
+// declared outside the loop body, returning a printable name. Writes
+// indexed by a loop-derived expression (out[k] = ...) and writes into
+// maps are order-independent and excluded.
+func (c *mapRangeCheck) outerTarget(lhs ast.Expr) (string, bool) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := c.pass.Pkg.Info.ObjectOf(l)
+		if obj == nil || c.tracked[obj] || !c.declaredOutside(obj) {
+			return "", false
+		}
+		return l.Name, true
+	case *ast.SelectorExpr:
+		if obj := rootObj(c.pass.Pkg.Info, l.X); obj != nil && !c.tracked[obj] && c.declaredOutside(obj) {
+			return types.ExprString(l), true
+		}
+		return "", false
+	case *ast.IndexExpr:
+		if tv, ok := c.pass.Pkg.Info.Types[l.X]; ok && tv.Type != nil {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				return "", false // distinct keys: order-independent
+			}
+		}
+		if c.mentionsTracked(l.Index) {
+			return "", false // distinct loop-derived indices
+		}
+		return c.outerTarget(l.X)
+	case *ast.StarExpr:
+		return c.outerTarget(l.X)
+	}
+	return "", false
+}
+
+// declaredOutside reports whether obj's declaration precedes the loop
+// body (parameters, outer locals, package-level state).
+func (c *mapRangeCheck) declaredOutside(obj types.Object) bool {
+	return obj.Pos() == token.NoPos || obj.Pos() < c.rs.Body.Pos() || obj.Pos() > c.rs.Body.End()
+}
+
+// rootObj finds the variable at the root of an lvalue chain.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfterLoop reports whether obj is passed to a recognized sort
+// function after the loop, anywhere in the enclosing function body —
+// the collect-then-sort idiom that launders map order.
+func (c *mapRangeCheck) sortedAfterLoop(obj types.Object) bool {
+	found := false
+	ast.Inspect(c.fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= c.rs.End() {
+			return true
+		}
+		fn := calleeFunc(c.pass.Pkg.Info, call)
+		if fn == nil || !c.pass.Config.MapOrderSortFuncs[fn.FullName()] {
+			return true
+		}
+		for _, a := range call.Args {
+			if c.mentionsObj(a, obj) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (c *mapRangeCheck) mentionsObj(e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.pass.Pkg.Info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkStream flags encoding/printing calls whose output depends on
+// loop variables: the emitted byte stream would follow map order.
+func (c *mapRangeCheck) checkStream(call *ast.CallExpr) {
+	name, ok := c.streamSink(call)
+	if !ok {
+		return
+	}
+	for _, a := range call.Args {
+		if c.mentionsTracked(a) {
+			c.report("stream encoding", "via "+name)
+			return
+		}
+	}
+}
+
+// streamSink recognizes order-revealing output calls: fmt printers,
+// Buffer/Builder writes, and gob/json encoders.
+func (c *mapRangeCheck) streamSink(call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(c.pass.Pkg.Info, call)
+	if fn == nil {
+		return "", false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return "fmt." + fn.Name(), true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	switch sig.Recv().Type().String() {
+	case "*bytes.Buffer", "*strings.Builder":
+		if strings.HasPrefix(fn.Name(), "Write") {
+			return fn.FullName(), true
+		}
+	case "*encoding/gob.Encoder", "*encoding/json.Encoder":
+		if fn.Name() == "Encode" {
+			return fn.FullName(), true
+		}
+	}
+	return "", false
+}

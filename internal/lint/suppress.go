@@ -31,6 +31,22 @@ func (s *suppressions) allowed(pos token.Position, rule string) bool {
 	return lines[pos.Line][rule] || lines[pos.Line-1][rule]
 }
 
+// mergeSuppressions unions per-package suppression indexes into one,
+// for filtering module-level findings (filenames are unique across
+// packages, so merging is collision-free).
+func mergeSuppressions(sups []*suppressions) *suppressions {
+	out := &suppressions{byLine: map[string]map[int]map[string]bool{}}
+	for _, s := range sups {
+		if s == nil {
+			continue
+		}
+		for file, lines := range s.byLine {
+			out.byLine[file] = lines
+		}
+	}
+	return out
+}
+
 // collectDirectives scans every comment of the package for
 // //lint:allow directives. Malformed directives (missing rule or
 // reason) and directives naming unknown rules are themselves reported

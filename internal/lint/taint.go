@@ -1,0 +1,981 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file implements the interprocedural taint engine behind the
+// privacyflow rule. The abstraction it checks is the paper's privacy
+// model: raw observations (values of the configured source types,
+// e.g. timeseries.Series) must never flow into the federated boundary
+// (fields of the configured sink types, e.g. fl.Message, or arguments
+// of sink functions like fl.Transport.Call) except through an
+// allowlisted aggregating sanitizer (metafeat.ExtractClient, loss
+// reductions, ...).
+//
+// Design: a flow- and field-sensitive abstract interpretation of each
+// function body, composed interprocedurally through per-function
+// summaries over the call graph.
+//
+//   - A value's taint is (a) "actual": it provably derives from a raw
+//     source reached in this function (reading a source-typed field
+//     like c.series, or any expression of a source type), carrying the
+//     source position and the functions the value passed through; and/
+//     or (b) "hypothetical": it derives from the function's own
+//     parameters, tracked as a bitmask so the flow can be re-evaluated
+//     at every call site against the caller's actual taints.
+//   - A function summary records, per parameter: which results it
+//     taints, and which sinks it reaches inside the callee (with the
+//     inner call chain). Summaries are computed to a fixed point in
+//     call-graph postorder, so recursion and interface dispatch
+//     converge by iteration; interface calls union the summaries of
+//     every implementation resolved by the call graph.
+//   - Sinks hit by actual taint become findings (reported at the sink
+//     for local flows, at the completing call site for
+//     interprocedural ones, with the full source→sink chain). Sinks
+//     hit by hypothetical taint extend the current function's summary.
+//
+// Known, documented approximations: taint is not tracked through
+// receiver mutation (m.Fit(ds) does not taint m), through channels'
+// element values beyond the channel variable itself, or through
+// closures called via variables (closure bodies are analyzed against
+// the shared state, conservatively). Calls into the standard library
+// propagate any argument taint to all results.
+
+// Iteration and size caps keeping the analysis linear in practice.
+const (
+	taintMaxVia        = 6  // call hops recorded on a propagated source
+	taintMaxSinkTraces = 3  // sink traces kept per parameter
+	taintMaxStateIters = 4  // local fixed-point sweeps per function
+	taintMaxRounds     = 12 // global summary fixed-point rounds
+)
+
+// srcInfo is the provenance of an actual taint: where raw data
+// entered the flow and the functions it passed through since.
+type srcInfo struct {
+	pos  token.Position
+	desc string
+	via  []string
+}
+
+// taint is the abstract value of one expression.
+type taint struct {
+	params uint64   // bitmask: derives from these parameters
+	src    *srcInfo // non-nil: provably derives from a raw source
+}
+
+func (t taint) tainted() bool { return t.params != 0 || t.src != nil }
+
+// mergeTaint unions two taints (first source wins, for deterministic
+// provenance).
+func mergeTaint(a, b taint) taint {
+	out := taint{params: a.params | b.params, src: a.src}
+	if out.src == nil {
+		out.src = b.src
+	}
+	return out
+}
+
+// withVia returns t with fn appended to the source's hop list.
+func withVia(t taint, fn string) taint {
+	if t.src == nil {
+		return t
+	}
+	src := *t.src
+	src.via = appendVia(src.via, fn)
+	return taint{params: t.params, src: &src}
+}
+
+func appendVia(via []string, fn string) []string {
+	if len(via) >= taintMaxVia || (len(via) > 0 && via[len(via)-1] == fn) {
+		return via
+	}
+	return append(append([]string(nil), via...), fn)
+}
+
+// sinkTrace records one way a parameter reaches a sink inside a
+// function (for summary composition across call sites).
+type sinkTrace struct {
+	hops []string // intermediate callee hops, outermost first
+	pos  token.Position
+	desc string
+}
+
+// summary is the interprocedural contract of one function.
+type summary struct {
+	paramRet []uint64      // per parameter: bitmask of tainted results
+	retSrc   []*srcInfo    // per result: unconditional raw source, if any
+	sinks    [][]sinkTrace // per parameter: sinks it reaches
+	keys     map[string]bool
+}
+
+func newSummary(fn *types.Func) *summary {
+	np := numParams(fn)
+	nr := 0
+	if sig, ok := fn.Type().(*types.Signature); ok {
+		nr = sig.Results().Len()
+	}
+	return &summary{
+		paramRet: make([]uint64, np),
+		retSrc:   make([]*srcInfo, nr),
+		sinks:    make([][]sinkTrace, np),
+		keys:     map[string]bool{},
+	}
+}
+
+func (s *summary) addRet(p, r int) bool {
+	if p >= len(s.paramRet) || s.paramRet[p]&(1<<r) != 0 {
+		return false
+	}
+	s.paramRet[p] |= 1 << r
+	return true
+}
+
+func (s *summary) setRetSrc(r int, src *srcInfo) bool {
+	if r >= len(s.retSrc) || s.retSrc[r] != nil {
+		return false
+	}
+	cp := *src
+	s.retSrc[r] = &cp
+	return true
+}
+
+func (s *summary) addSink(p int, tr sinkTrace) bool {
+	if p >= len(s.sinks) || len(s.sinks[p]) >= taintMaxSinkTraces {
+		return false
+	}
+	key := fmt.Sprintf("%d|%s|%s:%d", p, tr.desc, tr.pos.Filename, tr.pos.Line)
+	if s.keys[key] {
+		return false
+	}
+	s.keys[key] = true
+	s.sinks[p] = append(s.sinks[p], tr)
+	return true
+}
+
+// numParams counts a function's parameters, receiver included (the
+// receiver is parameter 0 of a method).
+func numParams(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return 0
+	}
+	n := sig.Params().Len()
+	if sig.Recv() != nil {
+		n++
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// flowRec is one deduplicated source→sink finding awaiting emission.
+type flowRec struct {
+	pos   token.Pos
+	chain []string
+	msg   string
+}
+
+// taintEngine drives the whole-module analysis.
+type taintEngine struct {
+	fset  *token.FileSet
+	cfg   Config
+	cg    *CallGraph
+	sum   map[*types.Func]*summary
+	flows map[string]flowRec
+}
+
+func newTaintEngine(fset *token.FileSet, cfg Config, cg *CallGraph) *taintEngine {
+	return &taintEngine{
+		fset:  fset,
+		cfg:   cfg,
+		cg:    cg,
+		sum:   map[*types.Func]*summary{},
+		flows: map[string]flowRec{},
+	}
+}
+
+// run computes summaries to a fixed point and reports every completed
+// source→sink flow on the pass.
+func (e *taintEngine) run(mp *ModulePass) {
+	order := e.postorder()
+	for round := 0; round < taintMaxRounds; round++ {
+		changed := false
+		for _, n := range order {
+			if e.analyze(n, false) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, n := range order {
+		e.analyze(n, true)
+	}
+
+	keys := make([]string, 0, len(e.flows))
+	for k := range e.flows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		f := e.flows[k]
+		mp.ReportChain(f.pos, f.chain, "%s", f.msg)
+	}
+}
+
+// postorder returns the call-graph nodes callees-first, so summaries
+// usually converge in one round (recursion adds rounds, bounded by
+// taintMaxRounds).
+func (e *taintEngine) postorder() []*CallNode {
+	var order []*CallNode
+	seen := map[*CallNode]bool{}
+	var visit func(n *CallNode)
+	visit = func(n *CallNode) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, edge := range n.Out {
+			visit(edge.Callee)
+		}
+		order = append(order, n)
+	}
+	for _, n := range e.cg.Nodes() {
+		visit(n)
+	}
+	return order
+}
+
+func (e *taintEngine) summaryOf(n *CallNode) *summary {
+	s := e.sum[n.Fn]
+	if s == nil {
+		s = newSummary(n.Fn)
+		e.sum[n.Fn] = s
+	}
+	return s
+}
+
+// isSourceType reports whether t is (a pointer/slice/array chain to) a
+// configured raw-data type.
+func (e *taintEngine) isSourceType(t types.Type) bool {
+	return e.typeIn(t, e.cfg.PrivacySourceTypes)
+}
+
+// isSinkType reports whether t is (a pointer to) a configured
+// boundary message type.
+func (e *taintEngine) isSinkType(t types.Type) bool {
+	return e.typeIn(t, e.cfg.PrivacySinkTypes)
+}
+
+func (e *taintEngine) typeIn(t types.Type, set map[string]bool) bool {
+	for i := 0; i < 8 && t != nil; i++ {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Named:
+			return set[qualifiedTypeName(u)]
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// shortType renders a type's short package-qualified name for
+// diagnostics ("fl.Message").
+func (e *taintEngine) shortType(t types.Type) string {
+	for i := 0; i < 8; i++ {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+		return obj.Name()
+	}
+	return t.String()
+}
+
+func (e *taintEngine) shortPos(p token.Position) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// funcCtx is the per-function analysis state.
+type funcCtx struct {
+	eng          *taintEngine
+	node         *CallNode
+	info         *types.Info
+	paramIdx     map[types.Object]int
+	namedResults []types.Object
+	state        map[types.Object]taint
+	sum          *summary
+	report       bool
+	changed      bool // summary grew (drives the global fixed point)
+	stateChanged bool // local state grew (drives the local sweeps)
+}
+
+// analyze runs the abstract interpretation over one function,
+// returning whether its summary grew.
+func (e *taintEngine) analyze(n *CallNode, report bool) bool {
+	sig, ok := n.Fn.Type().(*types.Signature)
+	if !ok || n.Decl.Body == nil {
+		return false
+	}
+	c := &funcCtx{
+		eng:      e,
+		node:     n,
+		info:     n.Pkg.Info,
+		paramIdx: map[types.Object]int{},
+		state:    map[types.Object]taint{},
+		sum:      e.summaryOf(n),
+		report:   report,
+	}
+	idx := 0
+	if sig.Recv() != nil {
+		if r := n.Decl.Recv; r != nil && len(r.List) > 0 && len(r.List[0].Names) > 0 {
+			if obj := c.info.Defs[r.List[0].Names[0]]; obj != nil {
+				c.paramIdx[obj] = 0
+			}
+		}
+		idx = 1
+	}
+	if ps := n.Decl.Type.Params; ps != nil {
+		for _, field := range ps.List {
+			if len(field.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := c.info.Defs[name]; obj != nil && idx < 64 {
+					c.paramIdx[obj] = idx
+				}
+				idx++
+			}
+		}
+	}
+	if rs := n.Decl.Type.Results; rs != nil {
+		for _, field := range rs.List {
+			if len(field.Names) == 0 {
+				c.namedResults = append(c.namedResults, nil)
+				continue
+			}
+			for _, name := range field.Names {
+				c.namedResults = append(c.namedResults, c.info.Defs[name])
+			}
+		}
+	}
+	for it := 0; it < taintMaxStateIters; it++ {
+		c.stateChanged = false
+		c.walkStmt(n.Decl.Body)
+		if !c.stateChanged {
+			break
+		}
+	}
+	return c.changed
+}
+
+// newSrc mints an actual taint rooted at expr.
+func (c *funcCtx) newSrc(expr ast.Expr) taint {
+	desc := types.ExprString(expr)
+	if len(desc) > 40 {
+		desc = desc[:37] + "..."
+	}
+	return taint{src: &srcInfo{pos: c.eng.fset.Position(expr.Pos()), desc: desc}}
+}
+
+func (c *funcCtx) mergeState(obj types.Object, t taint) {
+	if obj == nil || !t.tainted() {
+		return
+	}
+	old := c.state[obj]
+	nw := mergeTaint(old, t)
+	if nw.params != old.params || (old.src == nil && nw.src != nil) {
+		c.state[obj] = nw
+		c.stateChanged = true
+	}
+}
+
+// ev computes the taint of an expression, performing sink checks on
+// any calls and composite literals it contains.
+func (c *funcCtx) ev(expr ast.Expr) taint {
+	if expr == nil {
+		return taint{}
+	}
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return c.evIdent(e)
+	case *ast.SelectorExpr:
+		base := c.ev(e.X)
+		if sel, ok := c.info.Selections[e]; ok && sel.Kind() == types.FieldVal && c.eng.isSourceType(sel.Type()) {
+			return mergeTaint(base, c.newSrc(e))
+		}
+		if v, ok := c.info.Uses[e.Sel].(*types.Var); ok && !v.IsField() && c.eng.isSourceType(v.Type()) {
+			return mergeTaint(base, c.newSrc(e))
+		}
+		return base
+	case *ast.CallExpr:
+		out := taint{}
+		for _, t := range c.evCall(e) {
+			out = mergeTaint(out, t)
+		}
+		return out
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ, token.LAND, token.LOR:
+			c.ev(e.X)
+			c.ev(e.Y)
+			return taint{} // booleans carry control, not data
+		}
+		return mergeTaint(c.ev(e.X), c.ev(e.Y))
+	case *ast.UnaryExpr:
+		return c.ev(e.X)
+	case *ast.StarExpr:
+		return c.ev(e.X)
+	case *ast.IndexExpr:
+		c.ev(e.Index)
+		return c.ev(e.X)
+	case *ast.IndexListExpr:
+		return c.ev(e.X)
+	case *ast.SliceExpr:
+		return c.ev(e.X)
+	case *ast.TypeAssertExpr:
+		return c.ev(e.X)
+	case *ast.CompositeLit:
+		return c.evComposite(e)
+	case *ast.KeyValueExpr:
+		return c.ev(e.Value)
+	case *ast.FuncLit:
+		// Closures share the enclosing state: sinks inside them are
+		// checked against it, conservatively assuming the closure runs.
+		c.walkStmt(e.Body)
+		return taint{}
+	}
+	return taint{}
+}
+
+func (c *funcCtx) evIdent(e *ast.Ident) taint {
+	obj := c.info.ObjectOf(e)
+	if obj == nil {
+		return taint{}
+	}
+	if i, ok := c.paramIdx[obj]; ok {
+		return taint{params: 1 << i}
+	}
+	if t, ok := c.state[obj]; ok {
+		return t
+	}
+	if v, ok := obj.(*types.Var); ok && !v.IsField() && c.eng.isSourceType(v.Type()) {
+		// Source-typed variable with no tracked assignment (e.g. a
+		// package-level series): raw-bearing by type.
+		return c.newSrc(e)
+	}
+	return taint{}
+}
+
+func (c *funcCtx) evComposite(e *ast.CompositeLit) taint {
+	t := taint{}
+	for _, el := range e.Elts {
+		t = mergeTaint(t, c.ev(el))
+	}
+	typ := c.info.Types[e].Type
+	if typ != nil && c.eng.isSinkType(typ) {
+		if t.tainted() {
+			c.sinkAt(e.Pos(), c.eng.shortType(typ)+" literal", t, nil)
+		}
+		return taint{} // the message value itself is not raw data
+	}
+	if typ != nil && c.eng.isSourceType(typ) {
+		t = mergeTaint(t, c.newSrc(e))
+	}
+	return t
+}
+
+// evCall computes per-result taints of a call, checking sanitizers,
+// sink functions, and module summaries (unioned over interface
+// implementations).
+func (c *funcCtx) evCall(call *ast.CallExpr) []taint {
+	if tv, ok := c.info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: propagate.
+		if len(call.Args) == 1 {
+			return []taint{c.ev(call.Args[0])}
+		}
+		return nil
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := c.info.Uses[id].(*types.Builtin); ok {
+			return c.evBuiltin(b.Name(), call)
+		}
+	}
+
+	var recvExpr ast.Expr
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := c.info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			recvExpr = sel.X
+		}
+	}
+	var argTaints []taint
+	if recvExpr != nil {
+		argTaints = append(argTaints, c.ev(recvExpr))
+	}
+	for _, a := range call.Args {
+		argTaints = append(argTaints, c.ev(a))
+	}
+
+	fn := calleeFunc(c.info, call)
+	if fn != nil {
+		fn = fn.Origin()
+		full := fn.FullName()
+		if c.eng.cfg.PrivacySanitizers[full] {
+			return c.results(call, taint{}) // aggregation boundary
+		}
+		if c.eng.cfg.PrivacySinkFuncs[full] {
+			for _, t := range argTaints {
+				c.sinkArg(call, fn.Name(), t)
+			}
+			return c.results(call, taint{})
+		}
+	}
+
+	callees := c.eng.cg.Callees(call)
+	if len(callees) == 0 {
+		// External or unresolved: any tainted argument taints every
+		// result.
+		out := taint{}
+		for _, t := range argTaints {
+			out = mergeTaint(out, t)
+		}
+		if fn != nil && out.src != nil {
+			out = withVia(out, fn.Name())
+		}
+		return c.results(call, out)
+	}
+
+	nres := c.numResults(call)
+	res := make([]taint, nres)
+	for _, callee := range callees {
+		s := c.eng.summaryOf(callee)
+		np := len(s.paramRet)
+		for j, t := range argTaints {
+			if !t.tainted() {
+				continue
+			}
+			pj := j
+			if pj >= np {
+				if np == 0 {
+					continue
+				}
+				pj = np - 1 // variadic overflow
+			}
+			mask := s.paramRet[pj]
+			for r := 0; r < nres && r < 64; r++ {
+				if mask&(1<<r) != 0 {
+					res[r] = mergeTaint(res[r], withVia(t, callee.Fn.Name()))
+				}
+			}
+			for _, tr := range s.sinks[pj] {
+				hop := fmt.Sprintf("%s (%s)", callee.Fn.Name(), c.eng.shortPos(c.eng.fset.Position(call.Pos())))
+				hops := append([]string{hop}, tr.hops...)
+				if t.src != nil {
+					c.reportFlow(call.Pos(), t.src, hops, tr.desc, tr.pos)
+				}
+				if t.params != 0 {
+					c.addParamSinks(t.params, sinkTrace{hops: hops, pos: tr.pos, desc: tr.desc})
+				}
+			}
+		}
+		for r := 0; r < nres && r < len(s.retSrc); r++ {
+			if s.retSrc[r] != nil {
+				src := *s.retSrc[r]
+				src.via = appendVia(src.via, callee.Fn.Name())
+				res[r] = mergeTaint(res[r], taint{src: &src})
+			}
+		}
+	}
+	return res
+}
+
+func (c *funcCtx) evBuiltin(name string, call *ast.CallExpr) []taint {
+	switch name {
+	case "len", "cap", "new", "make", "clear", "delete", "close", "recover":
+		for _, a := range call.Args {
+			c.ev(a)
+		}
+		return c.results(call, taint{}) // counts and fresh values are clean
+	case "append", "min", "max", "complex", "real", "imag":
+		t := taint{}
+		for _, a := range call.Args {
+			t = mergeTaint(t, c.ev(a))
+		}
+		return c.results(call, t)
+	case "copy":
+		if len(call.Args) == 2 {
+			t := c.ev(call.Args[1])
+			c.taintRoot(call.Args[0], t)
+		}
+		return c.results(call, taint{})
+	default:
+		for _, a := range call.Args {
+			c.ev(a)
+		}
+		return c.results(call, taint{})
+	}
+}
+
+// numResults counts the call's result values.
+func (c *funcCtx) numResults(call *ast.CallExpr) int {
+	tv, ok := c.info.Types[call]
+	if !ok || tv.Type == nil {
+		return 0
+	}
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		return tup.Len()
+	}
+	return 1
+}
+
+// results replicates one taint across every result of the call.
+func (c *funcCtx) results(call *ast.CallExpr, t taint) []taint {
+	n := c.numResults(call)
+	out := make([]taint, n)
+	for i := range out {
+		out[i] = t
+	}
+	return out
+}
+
+// sinkAt handles a value reaching a sink: a finding when the taint is
+// actual, a summary entry when it is parameter-relative.
+func (c *funcCtx) sinkAt(pos token.Pos, desc string, t taint, hops []string) {
+	if !t.tainted() {
+		return
+	}
+	sp := c.eng.fset.Position(pos)
+	if t.src != nil {
+		c.reportFlow(pos, t.src, hops, desc, sp)
+	}
+	if t.params != 0 {
+		c.addParamSinks(t.params, sinkTrace{hops: hops, pos: sp, desc: desc})
+	}
+}
+
+// sinkArg handles a tainted argument to a configured sink function.
+func (c *funcCtx) sinkArg(call *ast.CallExpr, fnName string, t taint) {
+	c.sinkAt(call.Pos(), fnName+" argument", t, nil)
+}
+
+func (c *funcCtx) addParamSinks(mask uint64, tr sinkTrace) {
+	for p := 0; p < 64; p++ {
+		if mask&(1<<p) == 0 {
+			continue
+		}
+		if c.sum.addSink(p, tr) {
+			c.changed = true
+		}
+	}
+}
+
+// reportFlow records one completed source→sink flow (deduplicated per
+// reporting site and sink).
+func (c *funcCtx) reportFlow(at token.Pos, src *srcInfo, hops []string, sinkDesc string, sinkPos token.Position) {
+	if !c.report {
+		return
+	}
+	chain := []string{fmt.Sprintf("%s (%s)", src.desc, c.eng.shortPos(src.pos))}
+	chain = append(chain, src.via...)
+	chain = append(chain, hops...)
+	chain = append(chain, fmt.Sprintf("%s (%s)", sinkDesc, c.eng.shortPos(sinkPos)))
+	key := fmt.Sprintf("%d|%s", at, sinkDesc)
+	if _, ok := c.eng.flows[key]; ok {
+		return
+	}
+	c.eng.flows[key] = flowRec{
+		pos:   at,
+		chain: chain,
+		msg: fmt.Sprintf("raw series data reaches the federated boundary: %s; aggregate via an allowlisted sanitizer or annotate //lint:allow privacyflow <reason>",
+			strings.Join(chain, " -> ")),
+	}
+}
+
+// taintRoot weakly taints the variable at the root of an lvalue
+// expression.
+func (c *funcCtx) taintRoot(expr ast.Expr, t taint) {
+	if !t.tainted() {
+		return
+	}
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			if obj := c.info.ObjectOf(e); obj != nil {
+				if _, isParam := c.paramIdx[obj]; !isParam {
+					c.mergeState(obj, t)
+				}
+			}
+			return
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		default:
+			return
+		}
+	}
+}
+
+// assign routes one taint into an lvalue, detecting sink-type field
+// and field-map stores.
+func (c *funcCtx) assign(lhs ast.Expr, t taint) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		c.mergeState(c.info.ObjectOf(l), t)
+	case *ast.SelectorExpr:
+		if bt := c.baseType(l.X); bt != nil && c.eng.isSinkType(bt) {
+			c.sinkAt(l.Pos(), c.eng.shortType(bt)+"."+l.Sel.Name, t, nil)
+			return
+		}
+		c.taintRoot(l.X, t)
+	case *ast.IndexExpr:
+		if sel, ok := ast.Unparen(l.X).(*ast.SelectorExpr); ok {
+			if bt := c.baseType(sel.X); bt != nil && c.eng.isSinkType(bt) {
+				c.sinkAt(l.Pos(), fmt.Sprintf("%s.%s[...]", c.eng.shortType(bt), sel.Sel.Name), t, nil)
+				return
+			}
+		}
+		c.taintRoot(l.X, t)
+	case *ast.StarExpr:
+		c.taintRoot(l.X, t)
+	}
+}
+
+func (c *funcCtx) baseType(expr ast.Expr) types.Type {
+	if tv, ok := c.info.Types[expr]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// recordRet folds one returned taint into the summary.
+func (c *funcCtx) recordRet(r int, t taint) {
+	if r >= 64 {
+		return
+	}
+	if t.params != 0 {
+		for p := 0; p < 64; p++ {
+			if t.params&(1<<p) != 0 && c.sum.addRet(p, r) {
+				c.changed = true
+			}
+		}
+	}
+	if t.src != nil && c.sum.setRetSrc(r, t.src) {
+		c.changed = true
+	}
+}
+
+// walkStmt interprets one statement.
+func (c *funcCtx) walkStmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, x := range st.List {
+			c.walkStmt(x)
+		}
+	case *ast.ExprStmt:
+		c.ev(st.X)
+	case *ast.AssignStmt:
+		c.walkAssign(st)
+	case *ast.DeclStmt:
+		c.walkDecl(st)
+	case *ast.ReturnStmt:
+		c.walkReturn(st)
+	case *ast.IfStmt:
+		c.walkStmt(st.Init)
+		c.ev(st.Cond)
+		c.walkStmt(st.Body)
+		c.walkStmt(st.Else)
+	case *ast.ForStmt:
+		c.walkStmt(st.Init)
+		c.ev(st.Cond)
+		c.walkStmt(st.Post)
+		c.walkStmt(st.Body)
+	case *ast.RangeStmt:
+		t := c.ev(st.X)
+		c.assign(st.Key, t)
+		c.assign(st.Value, t)
+		c.walkStmt(st.Body)
+	case *ast.SwitchStmt:
+		c.walkStmt(st.Init)
+		c.ev(st.Tag)
+		c.walkStmt(st.Body)
+	case *ast.TypeSwitchStmt:
+		c.walkTypeSwitch(st)
+	case *ast.SelectStmt:
+		c.walkStmt(st.Body)
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			c.ev(e)
+		}
+		for _, b := range st.Body {
+			c.walkStmt(b)
+		}
+	case *ast.CommClause:
+		c.walkStmt(st.Comm)
+		for _, b := range st.Body {
+			c.walkStmt(b)
+		}
+	case *ast.DeferStmt:
+		c.evCall(st.Call)
+	case *ast.GoStmt:
+		c.evCall(st.Call)
+	case *ast.SendStmt:
+		t := c.ev(st.Value)
+		c.taintRoot(st.Chan, t)
+	case *ast.LabeledStmt:
+		c.walkStmt(st.Stmt)
+	case *ast.IncDecStmt:
+		c.ev(st.X)
+	}
+}
+
+func (c *funcCtx) walkAssign(st *ast.AssignStmt) {
+	if st.Tok == token.DEFINE || st.Tok == token.ASSIGN {
+		var ts []taint
+		if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+			switch r := ast.Unparen(st.Rhs[0]).(type) {
+			case *ast.CallExpr:
+				ts = c.evCall(r)
+			case *ast.TypeAssertExpr:
+				ts = []taint{c.ev(r.X), {}}
+			default: // v, ok := m[k]; v, ok := <-ch
+				ts = []taint{c.ev(st.Rhs[0]), {}}
+			}
+			for len(ts) < len(st.Lhs) {
+				ts = append(ts, taint{})
+			}
+		} else {
+			for _, r := range st.Rhs {
+				ts = append(ts, c.ev(r))
+			}
+		}
+		for i, l := range st.Lhs {
+			var t taint
+			if i < len(ts) {
+				t = ts[i]
+			}
+			c.assign(l, t)
+		}
+		return
+	}
+	// Compound assignment: the target keeps its taint and gains the
+	// operand's.
+	if len(st.Lhs) == 1 && len(st.Rhs) == 1 {
+		t := mergeTaint(c.ev(st.Lhs[0]), c.ev(st.Rhs[0]))
+		c.assign(st.Lhs[0], t)
+	}
+}
+
+func (c *funcCtx) walkDecl(st *ast.DeclStmt) {
+	gd, ok := st.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		var ts []taint
+		if len(vs.Values) == 1 && len(vs.Names) > 1 {
+			if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok {
+				ts = c.evCall(call)
+			} else {
+				ts = []taint{c.ev(vs.Values[0])}
+			}
+		} else {
+			for _, v := range vs.Values {
+				ts = append(ts, c.ev(v))
+			}
+		}
+		for i, name := range vs.Names {
+			var t taint
+			if i < len(ts) {
+				t = ts[i]
+			}
+			c.mergeState(c.info.Defs[name], t)
+		}
+	}
+}
+
+func (c *funcCtx) walkReturn(st *ast.ReturnStmt) {
+	if len(st.Results) == 0 {
+		for r, obj := range c.namedResults {
+			if obj != nil {
+				c.recordRet(r, c.state[obj])
+			}
+		}
+		return
+	}
+	if len(st.Results) == 1 && len(c.sum.retSrc) > 1 {
+		if call, ok := ast.Unparen(st.Results[0]).(*ast.CallExpr); ok {
+			for r, t := range c.evCall(call) {
+				c.recordRet(r, t)
+			}
+			return
+		}
+	}
+	for r, e := range st.Results {
+		c.recordRet(r, c.ev(e))
+	}
+}
+
+func (c *funcCtx) walkTypeSwitch(st *ast.TypeSwitchStmt) {
+	c.walkStmt(st.Init)
+	var t taint
+	switch a := st.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := ast.Unparen(a.Rhs[0]).(*ast.TypeAssertExpr); ok {
+				t = c.ev(ta.X)
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := ast.Unparen(a.X).(*ast.TypeAssertExpr); ok {
+			t = c.ev(ta.X)
+		}
+	}
+	for _, cl := range st.Body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if obj := c.info.Implicits[cc]; obj != nil {
+			c.mergeState(obj, t)
+		}
+		for _, b := range cc.Body {
+			c.walkStmt(b)
+		}
+	}
+}

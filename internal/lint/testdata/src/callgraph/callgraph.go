@@ -1,0 +1,65 @@
+// Package callgraph is a fixture for call-graph construction tests:
+// interface dispatch over value and pointer receivers, method values
+// and function references, direct and mutual recursion, and an
+// unreachable orphan.
+package callgraph
+
+// Doer is implemented by Alpha (value receiver) and *Beta (pointer
+// receiver); a call through the interface dispatches to both.
+type Doer interface {
+	Do(x int) int
+}
+
+// Alpha implements Doer by value.
+type Alpha struct{}
+
+// Do adds one.
+func (Alpha) Do(x int) int { return x + 1 }
+
+// Beta implements Doer by pointer and recurses.
+type Beta struct {
+	n int
+}
+
+// Do counts down to its stored base (direct recursion).
+func (b *Beta) Do(x int) int {
+	if x <= 0 {
+		return b.n
+	}
+	return b.Do(x - 1)
+}
+
+// Dispatch calls through the interface: one call site, two candidate
+// callees.
+func Dispatch(d Doer, x int) int { return d.Do(x) }
+
+// helper is a plain function target for static and reference edges.
+func helper(x int) int { return x * 2 }
+
+// Caller has two static edges: helper and Dispatch.
+func Caller(x int) int { return helper(x) + Dispatch(Alpha{}, x) }
+
+// MethodValue references a method without calling it (EdgeRef).
+func MethodValue(b *Beta) func(int) int { return b.Do }
+
+// FuncValue references a function without calling it (EdgeRef).
+func FuncValue() func(int) int { return helper }
+
+// Even and Odd are mutually recursive.
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+// Odd completes the cycle.
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}
+
+// Orphan calls nothing and is called by nothing.
+func Orphan() {}

@@ -1,0 +1,100 @@
+// Package maporder is a golden fixture for the maporder analyzer:
+// map iteration order reaching float accumulation, unsorted slice
+// appends, stream encoding, or key-dependent writes is flagged;
+// integer accumulation, keyed writes, and the collect-then-sort idiom
+// are not.
+package maporder
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// FloatAccum: float addition is not associative, so the reduction
+// depends on iteration order.
+func FloatAccum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want maporder "float accumulation"
+		sum += v
+	}
+	return sum
+}
+
+// IntAccum: integer accumulation is exact and commutative — clean.
+func IntAccum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Concat: string concatenation preserves iteration order.
+func Concat(m map[string]string) string {
+	out := ""
+	for _, v := range m { // want maporder "string concatenation"
+		out += v
+	}
+	return out
+}
+
+// AppendValues: the slice records iteration order and is never sorted.
+func AppendValues(m map[string]int) []string {
+	var out []string
+	for k := range m { // want maporder "slice append"
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys: the sanctioned collect-then-sort idiom — the subsequent
+// sort launders the iteration order.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Render: the emitted byte stream follows map order.
+func Render(m map[string]int) string {
+	var b bytes.Buffer
+	for k, v := range m { // want maporder "stream encoding"
+		fmt.Fprintf(&b, "%s=%d;", k, v)
+	}
+	return b.String()
+}
+
+// ArgBest: last-write-wins selection keyed on the map key — ties are
+// broken by whichever key the runtime visits last.
+func ArgBest(m map[string]float64) string {
+	best, bestV := "", -1.0
+	for k, v := range m { // want maporder "order-dependent write"
+		if v > bestV {
+			best, bestV = k, v
+		}
+	}
+	return best
+}
+
+// CopyInto: writes keyed by the loop key touch distinct elements, so
+// the final state is order-independent.
+func CopyInto(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v + 1
+	}
+}
+
+// Product documents a deliberate exception with the line-above
+// suppression form.
+func Product(m map[string]float64) float64 {
+	p := 1.0
+	//lint:allow maporder fixture: demonstrates the line-above suppression form
+	for _, v := range m {
+		p *= v
+	}
+	return p
+}

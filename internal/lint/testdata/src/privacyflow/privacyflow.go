@@ -1,0 +1,125 @@
+// Package privacyflow is a golden fixture for the interprocedural
+// privacyflow analyzer. The fixture declares the privacy-policy
+// conventions that FixtureConfig binds for testdata packages: Series
+// is the raw-data source type, Message the boundary sink type, Send a
+// sink function, and Aggregate the allowlisted sanitizer. Leaks must
+// be reported with the full source→sink chain; aggregated paths and
+// sinks never reached by raw data must stay silent.
+package privacyflow
+
+// Series mirrors timeseries.Series: the configured raw-data source.
+type Series struct {
+	Values []float64
+}
+
+// Message mirrors fl.Message: the configured boundary sink type.
+type Message struct {
+	Scalars map[string]float64
+	Floats  map[string][]float64
+}
+
+// Send mirrors fl.Transport.Call: a configured sink function whose
+// arguments cross the boundary directly.
+func Send(payload any) {
+	_ = payload
+}
+
+// Aggregate mirrors metafeat.ExtractClient: the allowlisted
+// aggregating sanitizer. Its scalar result is not raw data.
+func Aggregate(s *Series) float64 {
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	if len(s.Values) == 0 {
+		return 0
+	}
+	return sum / float64(len(s.Values))
+}
+
+// node mirrors core.ClientNode: privately held raw observations.
+type node struct {
+	data *Series
+}
+
+// LeakDirect stores a raw field straight into a sink field map.
+func (n *node) LeakDirect() Message {
+	m := Message{Floats: map[string][]float64{}}
+	m.Floats["raw"] = n.data.Values // want privacyflow "n.data"
+	return m
+}
+
+// rawCopy hop 1: returns a copy of the raw values (parameter-relative
+// taint, resolved at each call site).
+func rawCopy(s *Series) []float64 {
+	out := make([]float64, len(s.Values))
+	copy(out, s.Values)
+	return out
+}
+
+// stash hop 2: stores its argument into a sink field map.
+func stash(m *Message, vs []float64) {
+	m.Floats["stash"] = vs
+}
+
+// LeakThreeHop completes the three-hop flow series → rawCopy → stash
+// → Message; the diagnostic carries the whole chain.
+func (n *node) LeakThreeHop() Message {
+	m := Message{Floats: map[string][]float64{}}
+	stash(&m, rawCopy(n.data)) // want privacyflow "stash"
+	return m
+}
+
+// LeakSendArg passes raw data to the configured sink function.
+func (n *node) LeakSendArg() {
+	Send(n.data) // want privacyflow "Send argument"
+}
+
+// LeakLiteral builds a sink-typed value directly around raw data.
+func (n *node) LeakLiteral() Message {
+	return Message{ // want privacyflow "Message literal"
+		Floats: map[string][]float64{"x": n.data.Values},
+	}
+}
+
+// CleanAggregate crosses the boundary through the sanitizer: the
+// aggregate statistic is exactly what the protocol permits.
+func (n *node) CleanAggregate() Message {
+	m := Message{Scalars: map[string]float64{}}
+	m.Scalars["mean"] = Aggregate(n.data)
+	return m
+}
+
+// minOf derives a scalar from raw values without aggregation-listing:
+// taint flows through it.
+func minOf(s *Series) float64 {
+	lo := s.Values[0]
+	for _, v := range s.Values {
+		if v < lo {
+			lo = v
+		}
+	}
+	return lo
+}
+
+// AllowedRange suppresses a deliberate disclosure with a reason, the
+// same pattern the real range round uses.
+func (n *node) AllowedRange() Message {
+	m := Message{Scalars: map[string]float64{}}
+	m.Scalars["lo"] = minOf(n.data) //lint:allow privacyflow fixture: the range round deliberately shares the minimum
+	return m
+}
+
+// deadLeak would forward raw data into a sink, but no caller ever
+// hands it raw data: the hypothetical flow never completes, so an
+// unreachable sink produces no diagnostic.
+func deadLeak(m *Message, vs []float64) {
+	m.Floats["dead"] = vs
+}
+
+// CleanCall exercises deadLeak with synthetic, non-private values.
+func CleanCall() Message {
+	m := Message{Floats: map[string][]float64{}}
+	deadLeak(&m, []float64{1, 2, 3})
+	return m
+}

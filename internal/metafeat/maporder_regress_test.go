@@ -1,0 +1,34 @@
+package metafeat
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestTopLagsDeterministicOnTies is the regression test for the
+// maporder finding in topLags: the vote map's iteration order used to
+// pick which tied lags made the cut. With every count tied, the result
+// must be byte-identical across runs and equal to the smallest lags in
+// ascending order.
+func TestTopLagsDeterministicOnTies(t *testing.T) {
+	votes := map[int]int{7: 3, 2: 3, 11: 3, 5: 3, 3: 3, 13: 3}
+	want := fmt.Sprint([]int{2, 3, 5})
+	for run := 0; run < 100; run++ {
+		got := fmt.Sprint(topLags(votes, 3))
+		if got != want {
+			t.Fatalf("run %d: topLags = %s, want %s", run, got, want)
+		}
+	}
+}
+
+// TestTopLagsOrderCountDescLagAsc pins the total order: higher counts
+// first, ties broken by the smaller lag, output sorted ascending.
+func TestTopLagsOrderCountDescLagAsc(t *testing.T) {
+	votes := map[int]int{4: 1, 9: 5, 6: 5, 1: 2}
+	want := fmt.Sprint([]int{1, 6, 9})
+	for run := 0; run < 100; run++ {
+		if got := fmt.Sprint(topLags(votes, 3)); got != want {
+			t.Fatalf("run %d: topLags = %s, want %s", run, got, want)
+		}
+	}
+}

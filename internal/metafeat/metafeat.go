@@ -9,6 +9,7 @@ package metafeat
 
 import (
 	"math"
+	"sort"
 
 	"fedforecaster/internal/stats"
 	"fedforecaster/internal/timeseries"
@@ -275,20 +276,18 @@ func sortComponents(cs []tsa.SeasonalComponent) {
 // lag asc).
 func topLags(votes map[int]int, maxCount int) []int {
 	type lv struct{ lag, count int }
-	var all []lv
+	all := make([]lv, 0, len(votes))
 	for lag, c := range votes {
 		all = append(all, lv{lag, c})
 	}
-	for i := 1; i < len(all); i++ {
-		for j := i; j > 0; j-- {
-			a, b := all[j], all[j-1]
-			if a.count > b.count || (a.count == b.count && a.lag < b.lag) {
-				all[j], all[j-1] = all[j-1], all[j]
-			} else {
-				break
-			}
+	// Total order (count desc, lag asc) so the vote map's iteration
+	// order cannot influence which lags make the cut.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
 		}
-	}
+		return all[i].lag < all[j].lag
+	})
 	if maxCount > len(all) {
 		maxCount = len(all)
 	}
@@ -297,10 +296,6 @@ func topLags(votes map[int]int, maxCount int) []int {
 		out = append(out, l.lag)
 	}
 	// Ascending lags for deterministic feature naming.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Ints(out)
 	return out
 }
