@@ -41,6 +41,7 @@ func main() {
 		showMeta = flag.Bool("show-metafeatures", false, "print the Table 1 aggregated meta-features and exit")
 		quiet    = flag.Bool("quiet", false, "suppress phase trace")
 
+		batch       = flag.Int("batch", 1, "candidate configurations per evaluation round (1 = paper's sequential loop; >1 enables constant-liar q-EI batching)")
 		callTimeout = flag.Duration("call-timeout", 0, "per-client call deadline, e.g. 30s (0 = wait forever)")
 		maxRetries  = flag.Int("max-retries", 0, "retries per failed client call (exponential backoff + jitter)")
 		minClients  = flag.Float64("min-client-fraction", 0, "quorum fraction in (0,1]: rounds succeed when ≥ this fraction of clients respond (0 = require all)")
@@ -86,6 +87,7 @@ func main() {
 		Iterations:        *iters,
 		TopK:              *topK,
 		Seed:              *seed,
+		BatchSize:         *batch,
 		CallTimeout:       *callTimeout,
 		MaxRetries:        *maxRetries,
 		MinClientFraction: *minClients,
@@ -115,7 +117,9 @@ func main() {
 		fmt.Printf("recommended algorithms: %v\n", res.Recommended)
 	}
 	fmt.Printf("kept %d of %d engineered features\n", len(res.KeptFeatures), res.NumFeatures)
-	fmt.Printf("evaluated %d configurations\n", res.Iterations)
+	fmt.Printf("evaluated %d configurations in %d evaluation rounds\n", res.Iterations, res.EvalRounds)
+	fmt.Printf("communication: %d rounds, %d calls, %d B down, %d B up\n",
+		res.Comms.Rounds, res.Comms.Calls, res.Comms.BytesDown, res.Comms.BytesUp)
 	fmt.Printf("best configuration: %s\n", res.BestConfig)
 	fmt.Printf("global validation loss: %.6g\n", res.BestValidLoss)
 	fmt.Printf("held-out test MSE: %.6g\n", res.TestMSE)

@@ -103,6 +103,12 @@ type Options struct {
 	// round succeeds when at least this fraction of clients respond and
 	// aggregates over the survivors. 0 requires full participation.
 	MinClientFraction float64
+	// BatchSize is the number of candidate configurations proposed and
+	// evaluated per federated round (round protocol v2's q). The
+	// default 1 reproduces the paper's sequential loop bit-for-bit;
+	// q > 1 trades per-round compute for ~q× fewer evaluation rounds
+	// via constant-liar q-EI proposals.
+	BatchSize int
 	// Trace receives phase events when non-nil.
 	Trace func(string)
 }
@@ -129,6 +135,9 @@ func (o Options) engineConfig() core.EngineConfig {
 	cfg.CallTimeout = o.CallTimeout
 	cfg.MaxRetries = o.MaxRetries
 	cfg.MinClientFraction = o.MinClientFraction
+	if o.BatchSize > 0 {
+		cfg.BatchSize = o.BatchSize
+	}
 	cfg.Trace = o.Trace
 	return cfg
 }

@@ -144,14 +144,96 @@ func (o *Optimizer) Next() search.Config {
 	return bestCfg
 }
 
+// maxSampleAttempts bounds sampleUnseen's duplicate-avoidance loop.
+// Small discrete spaces (e.g. one categorical hyper-parameter) can be
+// nearly or fully exhausted by a long run, in which case hunting for an
+// unseen point would spin without a cutoff.
+const maxSampleAttempts = 32
+
 func (o *Optimizer) sampleUnseen(s search.Space) search.Config {
-	for attempt := 0; attempt < 32; attempt++ {
-		c := s.Sample(o.rng)
+	var c search.Config
+	for attempt := 0; attempt < maxSampleAttempts; attempt++ {
+		c = s.Sample(o.rng)
 		if !o.seen[c.String()] {
 			return c
 		}
 	}
-	return s.Sample(o.rng)
+	// Audit note: every attempt landed on an already-proposed point, so
+	// the space is (nearly) exhausted. Returning the last draw is a
+	// deliberate duplicate — re-evaluating a known configuration is
+	// harmless (Observe just re-records it), whereas looping until an
+	// unseen point appears may never terminate on a finite grid.
+	return c
+}
+
+// ProposeBatch proposes q configurations to evaluate in one federated
+// round using the constant-liar q-EI heuristic: after each proposal a
+// fake observation at the incumbent loss (the "lie") is recorded so the
+// acquisition function avoids re-proposing the same region, and all
+// lies are retracted before returning. For q = 1 no lie is placed and
+// the call is exactly Next — same RNG draws, same proposal — which is
+// the q=1 ≡ sequential determinism contract the engine's golden
+// regression test pins.
+func (o *Optimizer) ProposeBatch(q int) []search.Config {
+	if q <= 1 {
+		return []search.Config{o.Next()}
+	}
+	// The lies must not survive the batch: save the incumbent (a lie at
+	// the incumbent value never improves it, but an empty history would
+	// let the clamped lie become "best") and record enough per-lie state
+	// to retract observations exactly.
+	savedBest, savedBestY := o.best, o.bestY
+	liar := o.bestY
+	if math.IsInf(liar, 1) {
+		// No real observation yet (e.g. the whole warm-start queue fits
+		// in one batch): lie with 0, a neutral standardized loss.
+		liar = 0
+	}
+	type lieRecord struct {
+		algo     string
+		key      string
+		prevSeen bool
+	}
+	var lies []lieRecord
+	batch := make([]search.Config, 0, q)
+	for k := 0; k < q; k++ {
+		cfg := o.Next()
+		batch = append(batch, cfg)
+		if k == q-1 {
+			break // the last candidate needs no lie: nothing follows it
+		}
+		if _, ok := o.obs[cfg.Algorithm]; !ok {
+			continue // Observe would ignore it; nothing to retract
+		}
+		key := cfg.String()
+		lies = append(lies, lieRecord{cfg.Algorithm, key, o.seen[key]})
+		o.Observe(cfg, liar)
+	}
+	// Retract the lies in reverse order so the observation arrays pop
+	// back to their pre-batch lengths.
+	for i := len(lies) - 1; i >= 0; i-- {
+		l := lies[i]
+		so := o.obs[l.algo]
+		so.x = so.x[:len(so.x)-1]
+		so.y = so.y[:len(so.y)-1]
+		o.n--
+		if !l.prevSeen {
+			delete(o.seen, l.key)
+		}
+	}
+	o.best, o.bestY = savedBest, savedBestY
+	return batch
+}
+
+// ObserveAll records the evaluated batch in proposal order. For a
+// single-element batch it is exactly one Observe call, preserving the
+// sequential Next/Observe history byte for byte.
+func (o *Optimizer) ObserveAll(cfgs []search.Config, losses []float64) {
+	for i, c := range cfgs {
+		if i < len(losses) {
+			o.Observe(c, losses[i])
+		}
+	}
 }
 
 // Observe records the aggregated global loss of a configuration.

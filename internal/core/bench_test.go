@@ -1,0 +1,36 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkEngineRounds measures a full engine run on a seeded
+// synthetic federation at batch sizes 1/4/8, reporting the numbers the
+// batched protocol exists to move: evaluation rounds, total federated
+// rounds, and estimated payload bytes both ways (from Server.Stats).
+// scripts/bench.sh parses this output into BENCH_engine.json.
+func BenchmarkEngineRounds(b *testing.B) {
+	for _, q := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("q=%d", q), func(b *testing.B) {
+			clients := fedDataset(b, 1600, 4, 11)
+			cfg := smallEngineConfig(42)
+			cfg.Iterations = 8
+			cfg.BatchSize = q
+			b.ResetTimer()
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				eng := NewEngine(nil, cfg)
+				r, err := eng.Run(clients)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+			}
+			b.ReportMetric(float64(res.EvalRounds), "evalrounds")
+			b.ReportMetric(float64(res.Comms.Rounds), "rounds")
+			b.ReportMetric(float64(res.Comms.BytesDown), "bytesdown")
+			b.ReportMetric(float64(res.Comms.BytesUp), "bytesup")
+		})
+	}
+}

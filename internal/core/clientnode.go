@@ -1,14 +1,17 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"fedforecaster/internal/features"
 	"fedforecaster/internal/fl"
 	"fedforecaster/internal/metafeat"
 	"fedforecaster/internal/pipeline"
+	"fedforecaster/internal/search"
 	"fedforecaster/internal/timeseries"
 )
 
@@ -23,7 +26,36 @@ type ClientNode struct {
 	// meta-features (metafeat.Privatize) — a client-side choice.
 	privacyEps float64
 	privacyRng *rand.Rand
+
+	// cacheMu guards cache, the round-protocol-v2 feature-matrix cache.
+	cacheMu sync.Mutex
+	cache   *evalCache
 }
+
+// evalCache is the client-side state installed by an eval/prepare
+// round: the decoded engineer + splits under their server-computed
+// fingerprint, plus lazily built per-phase feature matrices. A single
+// slot suffices — the schema is frozen after Phase III, and a new
+// fingerprint (e.g. a re-run with different feature selection)
+// replaces the old entry, bounding memory to one schema.
+type evalCache struct {
+	fingerprint string
+	eng         *features.Engineer
+	splits      pipeline.Splits
+	phases      map[string]*pipeline.PhaseData
+	phaseErrs   map[string]error
+}
+
+// errUnknownFingerprint marks an evaluation round whose fingerprint the
+// client has no cache for (it missed the prepare round); the client
+// reports need_prepare so the server can heal by re-preparing.
+var errUnknownFingerprint = errors.New("core: unknown schema fingerprint")
+
+// maxEvalWorkers bounds the per-client worker pool that evaluates a
+// candidate batch. Each candidate fits an independent model on the
+// shared read-only matrices; results land in per-candidate slots, so
+// ordering is deterministic regardless of scheduling.
+const maxEvalWorkers = 4
 
 // NewClientNode wraps a private series split into a protocol
 // participant.
@@ -92,21 +124,147 @@ func (c *ClientNode) Properties(req fl.Message) (fl.Message, error) {
 
 // Fit handles the final-model round: fit the chosen configuration on
 // train+valid and report the held-out test loss (Algorithm 1 lines
-// 23-25, with Table 3's test reporting).
+// 23-25, with Table 3's test reporting). A fingerprinted request uses
+// the v2 cached-matrix path; one carrying its own engineer is a v1
+// round, answered as before.
 func (c *ClientNode) Fit(req fl.Message) (fl.Message, error) {
 	if req.Kind != kindFitFinal {
 		return fl.Message{}, fmt.Errorf("core: unknown fit request %q", req.Kind)
 	}
+	if req.Strings[keyFingerprint] != "" {
+		return c.evaluateBatch(req, "test")
+	}
 	return c.evaluate(req, "test")
 }
 
-// Evaluate handles optimization rounds: fit a candidate on the train
-// rows and report the validation loss (Algorithm 1 lines 17-20).
+// Evaluate handles optimization rounds: fit candidates on the train
+// rows and report validation losses (Algorithm 1 lines 17-20). v2
+// rounds arrive either as eval/prepare (cache the schema) or as a
+// fingerprinted eval/config batch; a fingerprint-less eval/config is a
+// v1 single-candidate round.
 func (c *ClientNode) Evaluate(req fl.Message) (fl.Message, error) {
-	if req.Kind != kindEvalConfig {
-		return fl.Message{}, fmt.Errorf("core: unknown eval request %q", req.Kind)
+	switch req.Kind {
+	case kindEvalPrepare:
+		return c.prepare(req)
+	case kindEvalConfig:
+		if req.Strings[keyFingerprint] != "" {
+			return c.evaluateBatch(req, "valid")
+		}
+		return c.evaluate(req, "valid")
 	}
-	return c.evaluate(req, "valid")
+	return fl.Message{}, fmt.Errorf("core: unknown eval request %q", req.Kind)
+}
+
+// prepare installs the frozen engineer + splits under the server's
+// fingerprint. Matrices are built lazily on first use per phase, so a
+// prepare round is cheap and idempotent: re-preparing an already
+// cached fingerprint keeps the built matrices.
+func (c *ClientNode) prepare(req fl.Message) (fl.Message, error) {
+	fp := req.Strings[keyFingerprint]
+	if fp == "" {
+		return fl.Message{}, errors.New("core: prepare round without fingerprint")
+	}
+	resp := fl.NewMessage(kindEvalPrepare + "/done")
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	if c.cache != nil && c.cache.fingerprint == fp {
+		resp.Scalars["cached"] = 1
+		return resp, nil
+	}
+	c.cache = &evalCache{
+		fingerprint: fp,
+		eng:         decodeEngineer(req),
+		splits:      decodeSplits(req),
+		phases:      map[string]*pipeline.PhaseData{},
+		phaseErrs:   map[string]error{},
+	}
+	return resp, nil
+}
+
+// phaseData returns the cached matrices for (fingerprint, phase),
+// building them on first use. Build outcomes (including errors) are
+// memoized so repeated rounds never redo the work.
+func (c *ClientNode) phaseData(fp, phase string) (*pipeline.PhaseData, error) {
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	if c.cache == nil || c.cache.fingerprint != fp {
+		return nil, errUnknownFingerprint
+	}
+	if pd, ok := c.cache.phases[phase]; ok {
+		return pd, c.cache.phaseErrs[phase]
+	}
+	pd, err := pipeline.BuildPhaseData(c.series, c.cache.eng, c.cache.splits, phase)
+	c.cache.phases[phase] = pd
+	c.cache.phaseErrs[phase] = err
+	return pd, err
+}
+
+// evaluateBatch answers a v2 evaluation round: every candidate in the
+// batch is fitted against the cached matrices by a bounded worker
+// pool, each with its own derived seed (evalSeed), and results are
+// reported in candidate order — scheduling never reorders them.
+func (c *ClientNode) evaluateBatch(req fl.Message, phase string) (fl.Message, error) {
+	resp := fl.NewMessage(req.Kind + "/done")
+	pd, err := c.phaseData(req.Strings[keyFingerprint], phase)
+	if err != nil {
+		switch {
+		case errors.Is(err, errUnknownFingerprint):
+			// This client missed the prepare round (dropped under quorum,
+			// transient fault): tell the server instead of failing, so it
+			// can heal with a re-prepare.
+			resp.Scalars["need_prepare"] = 1
+			return resp, nil
+		case errors.Is(err, pipeline.ErrNotEnoughData):
+			// Same runtime guard as the v1 path: a too-small split reports
+			// itself skipped and the server excludes it from aggregation.
+			resp.Scalars["skipped"] = 1
+			return resp, nil
+		}
+		return fl.Message{}, err
+	}
+	cfgs := decodeBatch(req)
+	if len(cfgs) == 0 {
+		return fl.Message{}, errors.New("core: evaluation round with empty batch")
+	}
+	losses := make([]float64, len(cfgs))
+	rows := make([]float64, len(cfgs))
+	errs := make([]error, len(cfgs))
+	workers := maxEvalWorkers
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				var n int
+				losses[i], n, errs[i] = c.evalCandidate(pd, cfgs[i], i)
+				rows[i] = float64(n)
+			}
+		}()
+	}
+	for i := range cfgs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs { // lowest-index error wins: deterministic
+		if err != nil {
+			return fl.Message{}, err
+		}
+	}
+	resp.Floats["losses"] = losses
+	resp.Floats["rows"] = rows
+	resp.Scalars["size"] = float64(c.series.Len())
+	return resp, nil
+}
+
+// evalCandidate scores one batch candidate with its derived seed.
+func (c *ClientNode) evalCandidate(pd *pipeline.PhaseData, cfg search.Config, i int) (float64, int, error) {
+	return pd.Loss(cfg, evalSeed(c.seed, i))
 }
 
 func (c *ClientNode) evaluate(req fl.Message, phase string) (fl.Message, error) {

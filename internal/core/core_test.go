@@ -15,7 +15,7 @@ import (
 )
 
 // fedDataset builds a seasonal AR federated dataset with n clients.
-func fedDataset(t *testing.T, total, clients int, seed int64) []*timeseries.Series {
+func fedDataset(t testing.TB, total, clients int, seed int64) []*timeseries.Series {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	vals := make([]float64, total)

@@ -21,9 +21,17 @@ type EngineConfig struct {
 	// A' (paper: K = 3). Ignored when no meta-model is set.
 	TopK int
 	// Iterations is the optimization budget in configuration
-	// evaluations (each costs one federated round). The paper uses a
-	// wall-clock budget; TimeBudget may additionally cap runtime.
+	// evaluations. With BatchSize q each federated round evaluates up
+	// to q configurations, so the round count is ⌈Iterations/q⌉. The
+	// paper uses a wall-clock budget; TimeBudget may additionally cap
+	// runtime.
 	Iterations int
+	// BatchSize is the number of candidate configurations evaluated per
+	// federated round (q). 1 — the default — preserves the paper's
+	// sequential Algorithm 1 bit for bit; larger batches propose with
+	// the constant-liar q-EI heuristic and cut the evaluation round
+	// count (and per-round protocol overhead) by ~q×.
+	BatchSize int
 	// TimeBudget, when positive, stops optimization when exhausted
 	// even if Iterations remain (T in Algorithm 1).
 	TimeBudget time.Duration
@@ -68,16 +76,19 @@ type EngineConfig struct {
 	MinClientFraction float64
 	// Trace receives phase events (Figure 1's I-IV) when non-nil, plus
 	// resilience events ("client N dropped from <kind> round: ...") for
-	// clients excluded from a quorum round.
+	// clients excluded from a quorum round and a final communication
+	// summary.
 	Trace func(event string)
 }
 
 // DefaultEngineConfig mirrors the paper's setup: K=3, warm start,
-// Bayesian optimization and feature selection on.
+// Bayesian optimization and feature selection on, one candidate per
+// round.
 func DefaultEngineConfig() EngineConfig {
 	return EngineConfig{
 		TopK:             3,
 		Iterations:       24,
+		BatchSize:        1,
 		Splits:           pipeline.Splits{ValidFrac: 0.15, TestFrac: 0.15},
 		FeatureSelection: true,
 		WarmStart:        true,
@@ -103,6 +114,14 @@ type Result struct {
 	KeptFeatures   []int
 	NumFeatures    int
 	AggregatedMeta metafeat.Aggregated
+	// EvalRounds is the number of federated evaluation rounds the
+	// optimization phase drove (≈ ⌈Iterations/BatchSize⌉) — the number
+	// the batched protocol exists to shrink.
+	EvalRounds int
+	// Comms is the run's communication accounting (rounds, successful
+	// client calls, estimated payload bytes both ways), scoped to this
+	// run even on a reused server.
+	Comms fl.Stats
 }
 
 // Engine is the FedForecaster server-side orchestrator.
@@ -125,6 +144,9 @@ func NewEngine(meta *metalearn.MetaModel, cfg EngineConfig) *Engine {
 	if cfg.Iterations <= 0 {
 		cfg.Iterations = 24
 	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1
+	}
 	return &Engine{Meta: meta, Cfg: cfg, jitter: fl.NewJitter(cfg.Seed + 13)}
 }
 
@@ -144,32 +166,115 @@ func (e *Engine) Run(clients []*timeseries.Series) (*Result, error) {
 	return e.RunWithServer(srv)
 }
 
+// roundContext is the state one run's phases share: the engine and its
+// server, the trace sink, the evolving search space and feature
+// schema, the quorum policy (via engine.broadcast), and the result
+// being assembled. Each phase reads what earlier phases wrote, which
+// makes the dataflow between Figure 1's stages explicit and lets every
+// phase be driven (and unit-tested) in isolation.
+type roundContext struct {
+	engine *Engine
+	srv    *fl.Server
+	trace  func(string)
+	start  time.Time
+
+	// statsBase scopes communication accounting to this run: the server
+	// may have driven earlier rounds (TCP deployments reuse servers).
+	statsBase fl.Stats
+
+	agg         metafeat.Aggregated // phase I output
+	spaces      []search.Space      // phase II output (restricted space A')
+	engineer    *features.Engineer  // phase III-a output (frozen schema)
+	fingerprint string              // content address of engineer+splits
+	result      *Result
+}
+
+// enginePhase is one explicitly named stage of Algorithm 1. The run is
+// the ordered composition of the five phase values below; each is a
+// plain function over the shared roundContext.
+type enginePhase struct {
+	name string
+	run  func(*roundContext) error
+}
+
+// The five phases of a run, in execution order (Figure 1's I-IV with
+// Phase III split into its two halves).
+var (
+	phaseMetaFeatures  = enginePhase{"meta-features", runPhaseMetaFeatures}
+	phaseRecommend     = enginePhase{"recommend", runPhaseRecommend}
+	phaseFeatureSelect = enginePhase{"feature-select", runPhaseFeatureSelect}
+	phaseOptimize      = enginePhase{"optimize", runPhaseOptimize}
+	phaseFinalFit      = enginePhase{"final-fit", runPhaseFinalFit}
+)
+
+// enginePhases returns the run's phase order.
+func enginePhases() []enginePhase {
+	return []enginePhase{
+		phaseMetaFeatures,
+		phaseRecommend,
+		phaseFeatureSelect,
+		phaseOptimize,
+		phaseFinalFit,
+	}
+}
+
+// newRoundContext prepares the shared state for one run.
+func (e *Engine) newRoundContext(srv *fl.Server) *roundContext {
+	return &roundContext{
+		engine: e,
+		srv:    srv,
+		trace:  e.trace(),
+		//lint:allow walltime TimeBudget is a wall-clock contract with the user (Algorithm 1's T)
+		start:     time.Now(),
+		statsBase: srv.Stats(),
+		result:    &Result{},
+	}
+}
+
 // RunWithServer executes Algorithm 1 over an arbitrary transport (the
-// TCP deployment path uses this directly).
+// TCP deployment path uses this directly): the five phases run in
+// order over one shared roundContext.
 func (e *Engine) RunWithServer(srv *fl.Server) (*Result, error) {
 	if srv.NumClients() == 0 {
 		return nil, errors.New("core: no clients connected")
 	}
-	start := time.Now() //lint:allow walltime TimeBudget is a wall-clock contract with the user (Algorithm 1's T)
-	trace := e.trace()
-
-	// Phase I: meta-features computed on each client, aggregated on the
-	// server (Figure 1-I, Algorithm 1 lines 3-8).
-	trace("phase I: collecting meta-features")
-	agg, err := e.collectMetaFeatures(srv)
-	if err != nil {
-		return nil, err
+	rc := e.newRoundContext(srv)
+	for _, ph := range enginePhases() {
+		if err := ph.run(rc); err != nil {
+			return nil, err
+		}
 	}
+	rc.result.Comms = srv.Stats().Sub(rc.statsBase)
+	rc.trace(fmt.Sprintf("comms: %d rounds, %d calls, %d B down, %d B up",
+		rc.result.Comms.Rounds, rc.result.Comms.Calls,
+		rc.result.Comms.BytesDown, rc.result.Comms.BytesUp))
+	return rc.result, nil
+}
 
-	// Phase II: the meta-model recommends the restricted search space
-	// A' (Figure 1-II, lines 9-10).
+// runPhaseMetaFeatures is Phase I: meta-features computed on each
+// client, aggregated on the server (Figure 1-I, Algorithm 1 lines
+// 3-8).
+func runPhaseMetaFeatures(rc *roundContext) error {
+	rc.trace("phase I: collecting meta-features")
+	agg, err := rc.engine.collectMetaFeatures(rc.srv)
+	if err != nil {
+		return err
+	}
+	rc.agg = agg
+	rc.result.AggregatedMeta = agg
+	return nil
+}
+
+// runPhaseRecommend is Phase II: the meta-model recommends the
+// restricted search space A' (Figure 1-II, lines 9-10).
+func runPhaseRecommend(rc *roundContext) error {
+	e := rc.engine
 	spaces := e.Cfg.Spaces
 	if spaces == nil {
 		spaces = search.DefaultSpaces()
 	}
-	var recommended []string
 	if e.Meta != nil {
-		recommended = e.Meta.RecommendTopK(agg.Vector(), e.Cfg.TopK)
+		recommended := e.Meta.RecommendTopK(rc.agg.Vector(), e.Cfg.TopK)
 		var restricted []search.Space
 		for _, name := range recommended {
 			if sp, ok := search.SpaceFor(spaces, name); ok {
@@ -179,35 +284,52 @@ func (e *Engine) RunWithServer(srv *fl.Server) (*Result, error) {
 		if len(restricted) > 0 {
 			spaces = restricted
 		}
-		trace(fmt.Sprintf("phase II: meta-model recommends %v", recommended))
+		rc.result.Recommended = recommended
+		rc.trace(fmt.Sprintf("phase II: meta-model recommends %v", recommended))
 	} else {
-		trace("phase II: no meta-model, searching the full space")
+		rc.trace("phase II: no meta-model, searching the full space")
 	}
+	rc.spaces = spaces
+	return nil
+}
 
-	// Phase III-a: unified feature engineering + federated feature
-	// selection (Figure 1-III, lines 11-13, Section 4.2).
-	eng := features.NewEngineer(agg)
+// runPhaseFeatureSelect is Phase III-a: unified feature engineering +
+// federated feature selection (Figure 1-III, lines 11-13, Section
+// 4.2). The engineer is frozen after this phase; the optimize phase
+// content-addresses it.
+func runPhaseFeatureSelect(rc *roundContext) error {
+	e := rc.engine
+	eng := features.NewEngineer(rc.agg)
 	eng.ExogNames = append([]string(nil), e.Cfg.ExogChannels...)
-	result := &Result{Recommended: recommended, AggregatedMeta: agg, NumFeatures: len(eng.FeatureNames())}
+	rc.result.NumFeatures = len(eng.FeatureNames())
 	if e.Cfg.FeatureSelection {
-		trace("phase III: federated feature selection")
-		kept, err := e.selectFeatures(srv, eng)
+		rc.trace("phase III: federated feature selection")
+		kept, err := e.selectFeatures(rc.srv, eng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if len(kept) > 0 {
 			eng.Keep = kept
-			result.KeptFeatures = kept
+			rc.result.KeptFeatures = kept
 		}
 	}
+	rc.engineer = eng
+	return nil
+}
 
-	// Phase III-b: hyper-parameter optimization against the aggregated
-	// global loss (lines 14-22, Section 4.3).
-	trace("phase III: Bayesian optimization")
-	opt := bayesopt.New(spaces, e.Cfg.Seed)
+// runPhaseOptimize is Phase III-b: hyper-parameter optimization
+// against the aggregated global loss (lines 14-22, Section 4.3). One
+// federated round evaluates a batch of up to BatchSize candidates
+// (constant-liar q-EI proposals) against matrices the clients cached
+// at the prepare round; BatchSize 1 replays the paper's sequential
+// loop exactly.
+func runPhaseOptimize(rc *roundContext) error {
+	e := rc.engine
+	rc.trace("phase III: Bayesian optimization")
+	opt := bayesopt.New(rc.spaces, e.Cfg.Seed)
 	if e.Cfg.WarmStart {
 		var warm []search.Config
-		for _, sp := range spaces {
+		for _, sp := range rc.spaces {
 			// The space centre is the canonical default instantiation.
 			u := make([]float64, sp.Dim())
 			for i := range u {
@@ -217,48 +339,150 @@ func (e *Engine) RunWithServer(srv *fl.Server) (*Result, error) {
 		}
 		opt.Warm(warm)
 	}
+	if err := rc.prepareEval(); err != nil {
+		return err
+	}
 	rng := newRng(e.Cfg.Seed + 7)
-	for iter := 0; iter < e.Cfg.Iterations; iter++ {
-		// Always evaluate at least one configuration so a budget spent
-		// on the earlier phases still yields a deployable model.
+	q := e.Cfg.BatchSize
+	if q < 1 {
+		q = 1
+	}
+	result := rc.result
+	for len(result.History) < e.Cfg.Iterations {
+		// Always evaluate at least one round so a budget spent on the
+		// earlier phases still yields a deployable model.
 		//lint:allow walltime TimeBudget is a wall-clock contract with the user (Algorithm 1's T)
-		if iter > 0 && e.Cfg.TimeBudget > 0 && time.Since(start) > e.Cfg.TimeBudget {
+		if len(result.History) > 0 && e.Cfg.TimeBudget > 0 && time.Since(rc.start) > e.Cfg.TimeBudget {
 			break
 		}
-		var cfg search.Config
+		k := q
+		if rem := e.Cfg.Iterations - len(result.History); k > rem {
+			k = rem
+		}
+		var cfgs []search.Config
 		if e.Cfg.UseBayesOpt {
-			cfg = opt.Next()
+			cfgs = opt.ProposeBatch(k)
 		} else {
-			sp := spaces[rng.Intn(len(spaces))]
-			cfg = sp.Sample(rng)
+			for j := 0; j < k; j++ {
+				sp := rc.spaces[rng.Intn(len(rc.spaces))]
+				cfgs = append(cfgs, sp.Sample(rng))
+			}
 		}
-		loss, err := e.globalLoss(srv, eng, cfg, "valid")
+		losses, err := rc.evalConfigs(cfgs, kindEvalConfig)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		opt.Observe(cfg, loss)
-		result.History = append(result.History, IterationRecord{
-			//lint:allow walltime Elapsed is diagnostic wall-clock telemetry, not part of the replayable result
-			Config: cfg, GlobalLoss: loss, Elapsed: time.Since(start),
-		})
+		opt.ObserveAll(cfgs, losses)
+		for j := range cfgs {
+			result.History = append(result.History, IterationRecord{
+				//lint:allow walltime Elapsed is diagnostic wall-clock telemetry, not part of the replayable result
+				Config: cfgs[j], GlobalLoss: losses[j], Elapsed: time.Since(rc.start),
+			})
+		}
+		result.EvalRounds++
 	}
 	best, bestLoss, ok := opt.Best()
 	if !ok {
-		return nil, errors.New("core: optimization produced no evaluations")
+		return errors.New("core: optimization produced no evaluations")
 	}
 	result.BestConfig = best
 	result.BestValidLoss = bestLoss
 	result.Iterations = len(result.History)
+	return nil
+}
 
-	// Phase IV: final fit on each client and aggregated test metric
-	// (Figure 1-IV, lines 23-27).
-	trace(fmt.Sprintf("phase IV: final fit of %s", best.Algorithm))
-	testMSE, err := e.globalLossKind(srv, eng, best, kindFitFinal)
+// runPhaseFinalFit is Phase IV: final fit on each client and the
+// aggregated test metric (Figure 1-IV, lines 23-27), served from the
+// same cached matrices (test phase built on first use).
+func runPhaseFinalFit(rc *roundContext) error {
+	best := rc.result.BestConfig
+	rc.trace(fmt.Sprintf("phase IV: final fit of %s", best.Algorithm))
+	losses, err := rc.evalConfigs([]search.Config{best}, kindFitFinal)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	result.TestMSE = testMSE
-	return result, nil
+	rc.result.TestMSE = losses[0]
+	return nil
+}
+
+// prepareEval runs the one-time eval/prepare round: ship the frozen
+// engineer + splits (plus their content fingerprint) to every client
+// once, after which evaluation rounds carry only the fingerprint and
+// the candidate batch.
+func (rc *roundContext) prepareEval() error {
+	rc.fingerprint = engineerFingerprint(rc.engineer, rc.engine.Cfg.Splits)
+	req := fl.NewMessage(kindEvalPrepare)
+	encodeEngineer(&req, rc.engineer)
+	encodeSplits(&req, rc.engine.Cfg.Splits)
+	req.Strings[keyFingerprint] = rc.fingerprint
+	if _, _, err := rc.engine.broadcast(rc.srv, req); err != nil {
+		return roundTripError("prepare", err)
+	}
+	return nil
+}
+
+// evalConfigs drives one batched evaluation round of the given kind
+// and returns the Equation-1 aggregated global loss per candidate, in
+// candidate order. A survivor that missed the prepare round (possible
+// under partial participation) answers need_prepare; the server heals
+// once by re-preparing and re-evaluating before aggregating.
+func (rc *roundContext) evalConfigs(cfgs []search.Config, kind string) ([]float64, error) {
+	req := fl.NewMessage(kind)
+	encodeBatch(&req, rc.fingerprint, cfgs)
+	resps, _, err := rc.engine.broadcast(rc.srv, req)
+	if err != nil {
+		return nil, roundTripError(kind, err)
+	}
+	if needPrepare(resps) {
+		rc.trace(fmt.Sprintf("healing %s round: re-sending prepare to clients without the schema", kind))
+		if err := rc.prepareEval(); err != nil {
+			return nil, err
+		}
+		resps, _, err = rc.engine.broadcast(rc.srv, req)
+		if err != nil {
+			return nil, roundTripError(kind, err)
+		}
+	}
+	return aggregateBatchLosses(resps, len(cfgs))
+}
+
+// needPrepare reports whether any round survivor lacked the schema.
+func needPrepare(resps []fl.Message) bool {
+	for _, r := range resps {
+		if r.Scalars["need_prepare"] == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// aggregateBatchLosses computes the Equation-1 weighted global loss
+// per candidate over the quorum survivors: each response carries its
+// own size, so the weighted sum is exactly the dense computation
+// restricted to the responder indices. Clients that reported
+// skipped/need_prepare contribute to no candidate.
+func aggregateBatchLosses(resps []fl.Message, k int) ([]float64, error) {
+	out := make([]float64, k)
+	for j := 0; j < k; j++ {
+		var losses, sizes []float64
+		for _, r := range resps {
+			if r.Scalars["skipped"] == 1 || r.Scalars["need_prepare"] == 1 {
+				continue
+			}
+			l := r.Floats["losses"]
+			if j >= len(l) {
+				continue
+			}
+			losses = append(losses, l[j])
+			sizes = append(sizes, r.Scalars["size"])
+		}
+		v, err := fl.WeightedLoss(losses, sizes)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = v
+	}
+	return out, nil
 }
 
 // trace returns the configured trace sink or a no-op.
@@ -346,7 +570,11 @@ func (e *Engine) selectFeatures(srv *fl.Server, eng *features.Engineer) ([]int, 
 	return features.SelectFeatures(perClient, features.ImportanceThreshold), nil
 }
 
-// globalLoss evaluates cfg on the validation phase.
+// globalLoss evaluates cfg on the validation phase with a v1
+// self-contained round (engineer + config in one message). The engine
+// itself uses the batched v2 path; this remains for callers that
+// evaluate a single configuration outside a run (the adaptive
+// runner's drift check).
 func (e *Engine) globalLoss(srv *fl.Server, eng *features.Engineer, cfg search.Config, phase string) (float64, error) {
 	kind := kindEvalConfig
 	if phase == "test" {

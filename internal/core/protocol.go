@@ -10,6 +10,9 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
 	"strings"
 
 	"fedforecaster/internal/features"
@@ -22,11 +25,22 @@ import (
 )
 
 // Message kinds of the FedForecaster protocol.
+//
+// Round protocol v2 (see DESIGN.md "Round protocol v2"): the engineer
+// schema is frozen after Phase III and shipped exactly once in an
+// eval/prepare round together with its content fingerprint; every
+// later eval/config and fit/final round carries only the fingerprint
+// plus a batch of encoded candidate configurations, and clients
+// evaluate against feature matrices cached under that fingerprint.
+// eval/config and fit/final messages without a fingerprint are the v1
+// self-contained form (engineer + single config per round), still
+// served for compatibility (the adaptive runner uses it).
 const (
 	kindRange        = "props/range"        // → client min/max for histogram alignment
 	kindMetaFeatures = "props/metafeatures" // → client meta-feature fingerprint
 	kindImportances  = "props/importances"  // → client RF feature importances
-	kindEvalConfig   = "eval/config"        // → client validation loss for a config
+	kindEvalPrepare  = "eval/prepare"       // → ship engineer+splits once; client caches by fingerprint
+	kindEvalConfig   = "eval/config"        // → client validation losses for a candidate batch
 	kindFitFinal     = "fit/final"          // → client test loss of the final config
 )
 
@@ -85,7 +99,10 @@ func encodeEngineer(msg *fl.Message, eng *features.Engineer) {
 		msg.Strings["exog"] = strings.Join(eng.ExogNames, ",")
 	}
 	if eng.Keep != nil {
-		msg.Ints["keep"] = append([]int(nil), eng.Keep...)
+		// Non-nil even when empty: the presence of the key is what
+		// carries the "restricted schema" semantics, and an empty Keep
+		// ("keep nothing") must not decode as nil ("keep everything").
+		msg.Ints["keep"] = append([]int{}, eng.Keep...)
 	}
 }
 
@@ -109,9 +126,115 @@ func decodeEngineer(msg fl.Message) *features.Engineer {
 		e.ExogNames = strings.Split(ex, ",")
 	}
 	if k, ok := msg.Ints["keep"]; ok {
-		e.Keep = append([]int(nil), k...)
+		// append to a non-nil base: gob decodes an empty slice value as
+		// nil while keeping the key, and key presence alone must restore
+		// a non-nil (possibly empty) Keep.
+		e.Keep = append([]int{}, k...)
 	}
 	return e
+}
+
+// encodeConfigAt serializes candidate i of a batch into the message
+// under "i:"-prefixed keys (index prefixes cannot collide: "1:" is
+// never a prefix of "11:..." because ':' terminates the index digits).
+func encodeConfigAt(msg *fl.Message, cfg search.Config, i int) {
+	p := strconv.Itoa(i) + ":"
+	msg.Strings[p+"algorithm"] = cfg.Algorithm
+	for k, v := range cfg.Values {
+		msg.Floats[p+"v:"+k] = []float64{v}
+	}
+	for k, v := range cfg.Cats {
+		msg.Strings[p+"c:"+k] = v
+	}
+}
+
+// decodeConfigAt reverses encodeConfigAt for candidate i.
+func decodeConfigAt(msg fl.Message, i int) search.Config {
+	p := strconv.Itoa(i) + ":"
+	cfg := search.Config{
+		Algorithm: msg.Strings[p+"algorithm"],
+		Values:    map[string]float64{},
+		Cats:      map[string]string{},
+	}
+	vp, cp := p+"v:", p+"c:"
+	for k, v := range msg.Floats {
+		if strings.HasPrefix(k, vp) && len(v) == 1 {
+			cfg.Values[k[len(vp):]] = v[0]
+		}
+	}
+	for k, v := range msg.Strings {
+		if strings.HasPrefix(k, cp) {
+			cfg.Cats[k[len(cp):]] = v
+		}
+	}
+	return cfg
+}
+
+// encodeBatch writes a candidate batch plus its schema fingerprint —
+// the entire payload of a v2 evaluation round.
+func encodeBatch(msg *fl.Message, fingerprint string, cfgs []search.Config) {
+	msg.Strings[keyFingerprint] = fingerprint
+	msg.Ints[keyBatch] = []int{len(cfgs)}
+	for i, c := range cfgs {
+		encodeConfigAt(msg, c, i)
+	}
+}
+
+// decodeBatch reverses encodeBatch, returning the candidates in index
+// order.
+func decodeBatch(msg fl.Message) []search.Config {
+	n := 0
+	if b := msg.Ints[keyBatch]; len(b) == 1 {
+		n = b[0]
+	}
+	cfgs := make([]search.Config, n)
+	for i := range cfgs {
+		cfgs[i] = decodeConfigAt(msg, i)
+	}
+	return cfgs
+}
+
+// Keys of the v2 evaluation payload.
+const (
+	keyFingerprint = "fingerprint"
+	keyBatch       = "batch"
+)
+
+// engineerFingerprint content-addresses the frozen engineer schema and
+// split fractions. The canonical form walks only slices and scalar
+// fields (never map iteration, so the hash is deterministic) and
+// distinguishes nil Keep (full schema) from an explicit empty Keep.
+// Clients key their feature-matrix caches on it; any schema change —
+// new lags, different selection, different splits — produces a new
+// fingerprint and therefore a fresh prepare round.
+func engineerFingerprint(eng *features.Engineer, s pipeline.Splits) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v2|lags:%v|", eng.Lags)
+	for _, sc := range eng.Seasonal {
+		fmt.Fprintf(&b, "season:%d:%016x|", sc.Period, math.Float64bits(sc.Strength))
+	}
+	fmt.Fprintf(&b, "trend:%t|time:%t|", eng.UseTrend, eng.UseTime)
+	fmt.Fprintf(&b, "exog:%s|", strings.Join(eng.ExogNames, ","))
+	fmt.Fprintf(&b, "keepnil:%t|keep:%v|", eng.Keep == nil, eng.Keep)
+	fmt.Fprintf(&b, "splits:%016x:%016x",
+		math.Float64bits(s.ValidFrac), math.Float64bits(s.TestFrac))
+	h := fnv.New64a()
+	//lint:allow errdrop fnv's Write is documented to never fail
+	h.Write([]byte(b.String()))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// evalSeed derives the fitting seed of batch candidate i from the
+// client's base seed. Index 0 maps to the base seed itself, so a batch
+// of one reproduces the v1 sequential round bit for bit (the q=1 ≡
+// sequential determinism contract); later indices mix in an odd
+// 64-bit constant (splitmix64's γ) so concurrent candidates never
+// share a stream.
+func evalSeed(base int64, i int) int64 {
+	if i == 0 {
+		return base
+	}
+	return base ^ int64(uint64(i)*0x9e3779b97f4a7c15)
 }
 
 // encodeSplits/decodeSplits carry the chronological split fractions.

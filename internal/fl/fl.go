@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Message is the unit of client↔server communication: a kind tag plus
@@ -37,6 +38,51 @@ func NewMessage(kind string) Message {
 		Strings: map[string]string{},
 		Ints:    map[string][]int{},
 	}
+}
+
+// Normalize replaces nil payload maps with empty ones — the canonical
+// form NewMessage produces. Messages built as struct literals carry
+// nil maps, and gob omits nil maps on the wire, so without a shared
+// normalization point the two transports could hand handlers different
+// shapes for the same logical message (nil over TCP, whatever the
+// sender built in-process). Both transports normalize every message on
+// receipt, so handlers may index payload maps unconditionally.
+func (m *Message) Normalize() {
+	if m.Scalars == nil {
+		m.Scalars = map[string]float64{}
+	}
+	if m.Floats == nil {
+		m.Floats = map[string][]float64{}
+	}
+	if m.Strings == nil {
+		m.Strings = map[string]string{}
+	}
+	if m.Ints == nil {
+		m.Ints = map[string][]int{}
+	}
+}
+
+// PayloadSize estimates the message's serialized payload in bytes:
+// key and string lengths plus 8 bytes per float64 and per int. It is a
+// transport-independent estimate (gob framing adds type metadata, the
+// in-process transport ships pointers) used for communication
+// accounting, so the batching win of protocol v2 is measurable rather
+// than asserted.
+func (m Message) PayloadSize() int64 {
+	n := int64(len(m.Kind))
+	for k := range m.Scalars {
+		n += int64(len(k)) + 8
+	}
+	for k, v := range m.Floats {
+		n += int64(len(k)) + 8*int64(len(v))
+	}
+	for k, v := range m.Strings {
+		n += int64(len(k)) + int64(len(v))
+	}
+	for k, v := range m.Ints {
+		n += int64(len(k)) + 8*int64(len(v))
+	}
+	return n
 }
 
 // Client is the behaviour a federated participant implements
@@ -76,9 +122,41 @@ type Transport interface {
 	Close() error
 }
 
+// Stats is a server's cumulative communication accounting. Byte
+// counts are PayloadSize estimates of the request/response payload
+// maps; retries and failed calls are not separately charged (the
+// estimate tracks useful communication, not wire waste).
+type Stats struct {
+	// Rounds counts multi-client rounds driven (Broadcast, CallSubset
+	// and their quorum variants).
+	Rounds int
+	// Calls counts successful logical client calls.
+	Calls int
+	// BytesDown estimates server→client payload bytes (requests).
+	BytesDown int64
+	// BytesUp estimates client→server payload bytes (responses).
+	BytesUp int64
+}
+
+// Sub returns the stats delta s − base, for scoping accounting to one
+// run on a shared server.
+func (s Stats) Sub(base Stats) Stats {
+	return Stats{
+		Rounds:    s.Rounds - base.Rounds,
+		Calls:     s.Calls - base.Calls,
+		BytesDown: s.BytesDown - base.BytesDown,
+		BytesUp:   s.BytesUp - base.BytesUp,
+	}
+}
+
 // Server drives federated rounds over a transport.
 type Server struct {
 	transport Transport
+
+	// statsMu guards stats: rounds may (in principle) be driven
+	// concurrently, and accounting must never race them.
+	statsMu sync.Mutex
+	stats   Stats
 }
 
 // NewServer returns a server bound to the transport.
@@ -87,9 +165,37 @@ func NewServer(t Transport) *Server { return &Server{transport: t} }
 // NumClients reports the connected client count.
 func (s *Server) NumClients() int { return s.transport.NumClients() }
 
+// Stats returns a snapshot of the cumulative communication accounting.
+func (s *Server) Stats() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+// account charges one round: the request is billed downstream once per
+// successful response, each response upstream. Called once per round
+// after its barrier, from a single goroutine.
+func (s *Server) account(round bool, req Message, resps []Message) {
+	down := req.PayloadSize()
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	if round {
+		s.stats.Rounds++
+	}
+	for _, r := range resps {
+		s.stats.Calls++
+		s.stats.BytesDown += down
+		s.stats.BytesUp += r.PayloadSize()
+	}
+}
+
 // Call reaches a single client.
 func (s *Server) Call(i int, req Message) (Message, error) {
-	return s.transport.Call(i, req)
+	resp, err := s.transport.Call(i, req)
+	if err == nil {
+		s.account(false, req, []Message{resp})
+	}
+	return resp, err
 }
 
 // Broadcast sends the request to every client concurrently and
@@ -115,6 +221,7 @@ func (s *Server) Broadcast(req Message) ([]Message, error) {
 			return nil, fmt.Errorf("fl: client %d: %w", i, err)
 		}
 	}
+	s.account(true, req, out)
 	return out, nil
 }
 
@@ -164,6 +271,7 @@ func (s *Server) CallSubset(clients []int, req Message) ([]Message, error) {
 			return nil, fmt.Errorf("fl: client %d: %w", clients[i], err)
 		}
 	}
+	s.account(true, req, out)
 	return out, nil
 }
 

@@ -17,12 +17,21 @@ func NewInProc(clients []Client) *InProcTransport {
 // NumClients reports the client count.
 func (t *InProcTransport) NumClients() int { return len(t.clients) }
 
-// Call dispatches the request directly to client i.
+// Call dispatches the request directly to client i. Request and
+// response are normalized (nil payload maps → empty) exactly like the
+// TCP transport's decode path, so handlers observe one canonical
+// message shape regardless of transport.
 func (t *InProcTransport) Call(i int, req Message) (Message, error) {
 	if i < 0 || i >= len(t.clients) {
 		return Message{}, fmt.Errorf("fl: client index %d out of range", i)
 	}
-	return Dispatch(t.clients[i], req)
+	req.Normalize()
+	resp, err := Dispatch(t.clients[i], req)
+	if err != nil {
+		return Message{}, err
+	}
+	resp.Normalize()
+	return resp, nil
 }
 
 // Close is a no-op for in-process clients.

@@ -242,5 +242,6 @@ func (s *Server) CallSubsetQuorum(clients []int, req Message, q QuorumConfig) ([
 		return nil, nil, fmt.Errorf("%w: %d/%d clients responded, need %d (first drop: %v)",
 			ErrQuorumNotMet, len(idx), n, need, firstDrop)
 	}
+	s.account(true, req, msgs)
 	return msgs, idx, nil
 }

@@ -158,6 +158,10 @@ func (t *TCPTransport) Call(i int, req Message) (Message, error) {
 		// client remains healthy, so this is retryable.
 		return Message{}, fmt.Errorf("fl: client %d error: %s", i, resp.Err)
 	}
+	// gob omits nil maps, so a payload map that was nil (or never
+	// written) on the client decodes as nil here; normalize so both
+	// transports hand the server the same canonical shape.
+	resp.Msg.Normalize()
 	return resp.Msg, nil
 }
 
@@ -198,6 +202,11 @@ func ServeTCP(addr string, client Client, stop <-chan struct{}) error {
 		if err := dec.Decode(&req); err != nil {
 			return nil // connection closed: clean shutdown
 		}
+		// Mirror of the server-side decode normalization: a request whose
+		// payload maps were empty or nil on the server must reach the
+		// client handler in the same canonical shape the in-process
+		// transport delivers.
+		req.Msg.Normalize()
 		resp, derr := Dispatch(client, req.Msg)
 		env := envelope{Msg: resp}
 		if derr != nil {

@@ -60,12 +60,24 @@ func (s Splits) Bounds(n int) (trainEnd, validEnd int) {
 // requested evaluation rows.
 var ErrNotEnoughData = errors.New("pipeline: not enough data in client split")
 
-// ClientLoss fits cfg on one client's training rows and returns the
-// loss on the requested segment. phase selects the scored rows:
-// "valid" (optimization) or "test" (final reporting; the model then
-// trains on train+valid).
-func ClientLoss(s *timeseries.Series, eng *features.Engineer, cfg search.Config,
-	splits Splits, phase string, seed int64) (loss float64, nRows int, err error) {
+// PhaseData is one client's engineered matrices for an evaluation
+// phase ("valid" for optimization rounds, "test" for the final fit):
+// the training rows a candidate fits on and the scored rows. Building
+// it is the expensive part of a federated evaluation (trend fit +
+// matrix construction); round protocol v2 builds it once per schema
+// fingerprint and evaluates whole candidate batches against the cached
+// copy. Fitting never mutates the matrices (models that standardize
+// copy via their scaler), so one PhaseData may serve concurrent
+// evaluations.
+type PhaseData struct {
+	Train *model.Dataset
+	Score *model.Dataset
+}
+
+// BuildPhaseData engineers a client split for the given phase. The
+// arithmetic is exactly the former ClientLoss preamble, factored out so
+// the result can be cached and reused across candidates.
+func BuildPhaseData(s *timeseries.Series, eng *features.Engineer, splits Splits, phase string) (*PhaseData, error) {
 	n := s.Len()
 	trainEnd, validEnd := splits.Bounds(n)
 	// The trend model may not look beyond the fitting region.
@@ -75,7 +87,7 @@ func ClientLoss(s *timeseries.Series, eng *features.Engineer, cfg search.Config,
 	}
 	ds, err := eng.Build(s, fitLen)
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	off := eng.MaxLag()
 	fitRows := fitLen - off
@@ -84,7 +96,7 @@ func ClientLoss(s *timeseries.Series, eng *features.Engineer, cfg search.Config,
 		scoreEnd = n - off
 	}
 	if fitRows < 4 || scoreEnd <= fitRows {
-		return 0, 0, ErrNotEnoughData
+		return nil, ErrNotEnoughData
 	}
 	train, rest := ds.Split(fitRows)
 	scoreRows := scoreEnd - fitRows
@@ -92,15 +104,36 @@ func ClientLoss(s *timeseries.Series, eng *features.Engineer, cfg search.Config,
 		scoreRows = rest.Len()
 	}
 	score := &model.Dataset{X: rest.X[:scoreRows], Y: rest.Y[:scoreRows], Names: rest.Names}
+	return &PhaseData{Train: train, Score: score}, nil
+}
 
+// Loss fits cfg on the phase's training rows and returns the score-row
+// loss — the model-dependent tail of the former ClientLoss, so cached
+// and freshly built matrices produce bit-identical losses.
+func (pd *PhaseData) Loss(cfg search.Config, seed int64) (loss float64, nRows int, err error) {
 	m, err := search.Instantiate(cfg, seed)
 	if err != nil {
 		return 0, 0, err
 	}
-	if err := m.Fit(train.X, train.Y); err != nil {
+	if err := m.Fit(pd.Train.X, pd.Train.Y); err != nil {
 		return 0, 0, fmt.Errorf("pipeline: fitting %s: %w", cfg.Algorithm, err)
 	}
-	return model.MSE(m.Predict(score.X), score.Y), score.Len(), nil
+	return model.MSE(m.Predict(pd.Score.X), pd.Score.Y), pd.Score.Len(), nil
+}
+
+// ClientLoss fits cfg on one client's training rows and returns the
+// loss on the requested segment. phase selects the scored rows:
+// "valid" (optimization) or "test" (final reporting; the model then
+// trains on train+valid). It is BuildPhaseData + Loss; callers that
+// evaluate many configurations against one schema should build the
+// PhaseData once instead.
+func ClientLoss(s *timeseries.Series, eng *features.Engineer, cfg search.Config,
+	splits Splits, phase string, seed int64) (loss float64, nRows int, err error) {
+	pd, err := BuildPhaseData(s, eng, splits, phase)
+	if err != nil {
+		return 0, 0, err
+	}
+	return pd.Loss(cfg, seed)
 }
 
 // GlobalLoss evaluates cfg across all client splits and aggregates the

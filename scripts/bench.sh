@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# bench.sh — run the engine round-protocol benchmark and emit its
+# numbers as BENCH_engine.json for tracking across commits.
+#
+# BenchmarkEngineRounds runs a full seeded engine run at batch sizes
+# 1/4/8 and reports, per q: wall-clock ns/op, evaluation rounds,
+# total federated rounds, and estimated payload bytes both ways
+# (Server.Stats). The JSON is a list of one object per q.
+#
+# Usage:
+#   scripts/bench.sh               # writes BENCH_engine.json in the repo root
+#   BENCHTIME=5x scripts/bench.sh  # more samples per q
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-1x}"
+out="BENCH_engine.json"
+
+echo "==> go test -bench=EngineRounds -benchtime=$benchtime ./internal/core/"
+raw="$(go test -bench=EngineRounds -benchtime="$benchtime" -run '^$' ./internal/core/)"
+echo "$raw"
+
+echo "$raw" | awk '
+BEGIN { print "["; n = 0 }
+/^BenchmarkEngineRounds\// {
+    split($1, parts, "=")
+    sub(/-[0-9]+$/, "", parts[2])   # strip the -GOMAXPROCS suffix
+    q = parts[2]
+    nsop = ""; evalrounds = ""; rounds = ""; bytesdown = ""; bytesup = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")      nsop = $i
+        if ($(i+1) == "evalrounds") evalrounds = $i
+        if ($(i+1) == "rounds")     rounds = $i
+        if ($(i+1) == "bytesdown")  bytesdown = $i
+        if ($(i+1) == "bytesup")    bytesup = $i
+    }
+    if (n++) printf ",\n"
+    printf "  {\"q\": %s, \"ns_per_op\": %s, \"eval_rounds\": %s, \"rounds\": %s, \"bytes_down\": %s, \"bytes_up\": %s}", \
+        q, nsop, evalrounds, rounds, bytesdown, bytesup
+}
+END { print "\n]" }
+' > "$out"
+
+echo "==> wrote $out"
+cat "$out"
