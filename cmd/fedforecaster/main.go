@@ -19,6 +19,7 @@ import (
 
 	"fedforecaster"
 	"fedforecaster/internal/metafeat"
+	"fedforecaster/internal/obs"
 	"fedforecaster/internal/synth"
 	"fedforecaster/internal/timeseries"
 )
@@ -39,12 +40,15 @@ func main() {
 		kbPath   = flag.String("kb", "", "knowledge base JSON enabling meta-learning")
 		metaName = flag.String("metamodel", "Random Forest", "meta-model classifier name")
 		showMeta = flag.Bool("show-metafeatures", false, "print the Table 1 aggregated meta-features and exit")
-		quiet    = flag.Bool("quiet", false, "suppress phase trace")
+		quiet    = flag.Bool("quiet", false, "suppress the human-readable phase trace (-obs-addr/-trace-out sinks stay on)")
 
 		batch       = flag.Int("batch", 1, "candidate configurations per evaluation round (1 = paper's sequential loop; >1 enables constant-liar q-EI batching)")
 		callTimeout = flag.Duration("call-timeout", 0, "per-client call deadline, e.g. 30s (0 = wait forever)")
 		maxRetries  = flag.Int("max-retries", 0, "retries per failed client call (exponential backoff + jitter)")
 		minClients  = flag.Float64("min-client-fraction", 0, "quorum fraction in (0,1]: rounds succeed when ≥ this fraction of clients respond (0 = require all)")
+
+		obsAddr  = flag.String("obs-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :6060; empty = off)")
+		traceOut = flag.String("trace-out", "", "write the typed telemetry event stream as JSON lines to this file (empty = off)")
 	)
 	flag.Parse()
 
@@ -92,9 +96,41 @@ func main() {
 		MaxRetries:        *maxRetries,
 		MinClientFraction: *minClients,
 	}
+	// -quiet silences only the human-readable trace; typed telemetry
+	// sinks (-obs-addr, -trace-out) observe the run either way.
 	if !*quiet {
 		opts.Trace = func(ev string) { fmt.Println("  [trace]", ev) }
 	}
+
+	var recorders []fedforecaster.Recorder
+	var jsonl *obs.JSONL
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("opening trace sink: %v", err)
+		}
+		defer f.Close()
+		jsonl = obs.NewJSONL(f)
+		recorders = append(recorders, jsonl)
+	}
+	var metrics *obs.Metrics
+	if *obsAddr != "" {
+		metrics = obs.NewMetrics()
+		recorders = append(recorders, metrics)
+		stall := time.Duration(0)
+		if *callTimeout > 0 {
+			// A round outliving every per-call deadline (plus retry and
+			// backoff headroom) is stuck.
+			stall = *callTimeout * time.Duration(*maxRetries+2)
+		}
+		httpSrv, err := obs.Serve(*obsAddr, obs.ServeOptions{Metrics: metrics, StallAfter: stall})
+		if err != nil {
+			log.Fatalf("starting observability server: %v", err)
+		}
+		defer httpSrv.Close()
+		fmt.Printf("observability: http://%s/metrics /healthz /debug/pprof\n", httpSrv.Addr())
+	}
+	opts.Recorder = obs.Multi(recorders...)
 	if *kbPath != "" {
 		kb, err := fedforecaster.LoadKnowledgeBase(*kbPath)
 		if err != nil {
@@ -118,11 +154,28 @@ func main() {
 	}
 	fmt.Printf("kept %d of %d engineered features\n", len(res.KeptFeatures), res.NumFeatures)
 	fmt.Printf("evaluated %d configurations in %d evaluation rounds\n", res.Iterations, res.EvalRounds)
-	fmt.Printf("communication: %d rounds, %d calls, %d B down, %d B up\n",
-		res.Comms.Rounds, res.Comms.Calls, res.Comms.BytesDown, res.Comms.BytesUp)
+	printComms(res)
 	fmt.Printf("best configuration: %s\n", res.BestConfig)
 	fmt.Printf("global validation loss: %.6g\n", res.BestValidLoss)
 	fmt.Printf("held-out test MSE: %.6g\n", res.TestMSE)
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			log.Fatalf("trace sink: %v", err)
+		}
+	}
+}
+
+// printComms renders the run's communication accounting — including
+// wire wasted on failed attempts — as a small table. It prints even
+// under -quiet: the accounting is a result, not a trace.
+func printComms(res *fedforecaster.Result) {
+	fmt.Println("communication:")
+	fmt.Printf("  %-18s %12d\n", "rounds", res.Comms.Rounds)
+	fmt.Printf("  %-18s %12d\n", "calls", res.Comms.Calls)
+	fmt.Printf("  %-18s %12d\n", "bytes down", res.Comms.BytesDown)
+	fmt.Printf("  %-18s %12d\n", "bytes up", res.Comms.BytesUp)
+	fmt.Printf("  %-18s %12d\n", "wasted calls", res.Comms.WastedCalls)
+	fmt.Printf("  %-18s %12d\n", "wasted bytes", res.Comms.WastedBytes)
 }
 
 func loadClients(csvPath, dataset string, clients int, scale float64, seed int64) ([]*timeseries.Series, error) {

@@ -25,6 +25,7 @@ import (
 	"fedforecaster/internal/core"
 	"fedforecaster/internal/metafeat"
 	"fedforecaster/internal/metalearn"
+	"fedforecaster/internal/obs"
 	"fedforecaster/internal/pipeline"
 	"fedforecaster/internal/search"
 	"fedforecaster/internal/synth"
@@ -109,9 +110,19 @@ type Options struct {
 	// q > 1 trades per-round compute for ~q× fewer evaluation rounds
 	// via constant-liar q-EI proposals.
 	BatchSize int
-	// Trace receives phase events when non-nil.
+	// Trace receives phase events when non-nil (a human-readable
+	// rendering of the typed event stream; see Recorder).
 	Trace func(string)
+	// Recorder receives the full typed telemetry stream (run/phase/round
+	// spans, per-attempt client calls, BO iterations) when non-nil.
+	// Combine sinks with obs-style fan-out before setting it; nil
+	// disables telemetry with zero overhead.
+	Recorder Recorder
 }
+
+// Recorder consumes typed telemetry events (see internal/obs for the
+// event taxonomy and the Metrics / JSONL / Serve sinks).
+type Recorder = obs.Recorder
 
 func (o Options) engineConfig() core.EngineConfig {
 	cfg := core.DefaultEngineConfig()
@@ -139,6 +150,7 @@ func (o Options) engineConfig() core.EngineConfig {
 		cfg.BatchSize = o.BatchSize
 	}
 	cfg.Trace = o.Trace
+	cfg.Recorder = o.Recorder
 	return cfg
 }
 

@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"testing"
+
+	"fedforecaster/internal/obs"
 )
 
 // BenchmarkEngineRounds measures a full engine run on a seeded
@@ -31,6 +34,41 @@ func BenchmarkEngineRounds(b *testing.B) {
 			b.ReportMetric(float64(res.Comms.Rounds), "rounds")
 			b.ReportMetric(float64(res.Comms.BytesDown), "bytesdown")
 			b.ReportMetric(float64(res.Comms.BytesUp), "bytesup")
+		})
+	}
+}
+
+// BenchmarkRecorderOverhead measures the telemetry tax on a full
+// engine run. The nil case is the no-op fast path the Recorder
+// contract promises (alloc-free, within noise of the pre-telemetry
+// engine); metrics attaches the live Prometheus aggregator; full adds
+// a JSONL sink fan-out on top. scripts/bench.sh appends these rows to
+// BENCH_engine.json so later perf PRs can watch the overhead.
+func BenchmarkRecorderOverhead(b *testing.B) {
+	cases := []struct {
+		name string
+		rec  func() obs.Recorder
+	}{
+		{"nil", func() obs.Recorder { return nil }},
+		{"metrics", func() obs.Recorder { return obs.NewMetrics() }},
+		{"full", func() obs.Recorder {
+			return obs.Multi(obs.NewMetrics(), obs.NewJSONL(io.Discard))
+		}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			clients := fedDataset(b, 1600, 4, 11)
+			cfg := smallEngineConfig(42)
+			cfg.Iterations = 8
+			cfg.BatchSize = 4
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg.Recorder = c.rec()
+				eng := NewEngine(nil, cfg)
+				if _, err := eng.Run(clients); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

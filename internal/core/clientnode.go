@@ -10,6 +10,7 @@ import (
 	"fedforecaster/internal/features"
 	"fedforecaster/internal/fl"
 	"fedforecaster/internal/metafeat"
+	"fedforecaster/internal/obs"
 	"fedforecaster/internal/pipeline"
 	"fedforecaster/internal/search"
 	"fedforecaster/internal/timeseries"
@@ -26,6 +27,11 @@ type ClientNode struct {
 	// meta-features (metafeat.Privatize) — a client-side choice.
 	privacyEps float64
 	privacyRng *rand.Rand
+
+	// rec, when non-nil, receives client-side telemetry (cache
+	// hits/misses, per-candidate evaluation times) tagged with id.
+	rec obs.Recorder
+	id  int
 
 	// cacheMu guards cache, the round-protocol-v2 feature-matrix cache.
 	cacheMu sync.Mutex
@@ -68,6 +74,16 @@ func NewClientNode(s *timeseries.Series, seed int64) *ClientNode {
 func (c *ClientNode) WithPrivacy(epsilon float64) *ClientNode {
 	c.privacyEps = epsilon
 	c.privacyRng = rand.New(rand.NewSource(c.seed ^ 0x5f5f))
+	return c
+}
+
+// WithObs attaches a telemetry recorder and this node's client index
+// (the label on its events) and returns the node for chaining. The
+// engine wires it automatically for in-process simulation; TCP client
+// processes call it themselves.
+func (c *ClientNode) WithObs(rec obs.Recorder, id int) *ClientNode {
+	c.rec = rec
+	c.id = id
 	return c
 }
 
@@ -191,9 +207,19 @@ func (c *ClientNode) phaseData(fp, phase string) (*pipeline.PhaseData, error) {
 		return nil, errUnknownFingerprint
 	}
 	if pd, ok := c.cache.phases[phase]; ok {
+		if c.rec != nil {
+			c.rec.Record(obs.ClientCache{Client: c.id, Phase: phase, Hit: true})
+		}
 		return pd, c.cache.phaseErrs[phase]
 	}
+	var buildStartNS int64
+	if c.rec != nil {
+		buildStartNS = obs.NowNanos()
+	}
 	pd, err := pipeline.BuildPhaseData(c.series, c.cache.eng, c.cache.splits, phase)
+	if c.rec != nil {
+		c.rec.Record(obs.ClientCache{Client: c.id, Phase: phase, Hit: false, BuildNS: obs.NowNanos() - buildStartNS})
+	}
 	c.cache.phases[phase] = pd
 	c.cache.phaseErrs[phase] = err
 	return pd, err
@@ -262,9 +288,17 @@ func (c *ClientNode) evaluateBatch(req fl.Message, phase string) (fl.Message, er
 	return resp, nil
 }
 
-// evalCandidate scores one batch candidate with its derived seed.
+// evalCandidate scores one batch candidate with its derived seed,
+// reporting per-candidate evaluation time when telemetry is live (the
+// nil-recorder fast path adds no timing calls).
 func (c *ClientNode) evalCandidate(pd *pipeline.PhaseData, cfg search.Config, i int) (float64, int, error) {
-	return pd.Loss(cfg, evalSeed(c.seed, i))
+	if c.rec == nil {
+		return pd.Loss(cfg, evalSeed(c.seed, i))
+	}
+	startNS := obs.NowNanos()
+	loss, n, err := pd.Loss(cfg, evalSeed(c.seed, i))
+	c.rec.Record(obs.CandidateEval{Client: c.id, Index: i, EvalNS: obs.NowNanos() - startNS, Loss: loss})
+	return loss, n, err
 }
 
 func (c *ClientNode) evaluate(req fl.Message, phase string) (fl.Message, error) {

@@ -10,6 +10,7 @@ import (
 	"fedforecaster/internal/fl"
 	"fedforecaster/internal/metafeat"
 	"fedforecaster/internal/metalearn"
+	"fedforecaster/internal/obs"
 	"fedforecaster/internal/pipeline"
 	"fedforecaster/internal/search"
 	"fedforecaster/internal/timeseries"
@@ -77,8 +78,16 @@ type EngineConfig struct {
 	// Trace receives phase events (Figure 1's I-IV) when non-nil, plus
 	// resilience events ("client N dropped from <kind> round: ...") for
 	// clients excluded from a quorum round and a final communication
-	// summary.
+	// summary. It is a thin legacy adapter over the typed event stream:
+	// internally it becomes an obs.Recorder (obs.LegacyTrace) that
+	// renders Note and ClientDropped events in the historical format.
 	Trace func(event string)
+	// Recorder receives the full typed telemetry stream (run/phase/round
+	// spans, per-attempt client calls, BO iterations, client cache and
+	// candidate-eval records) when non-nil. Nil disables telemetry with
+	// zero allocation at every instrumentation site. Trace and Recorder
+	// compose: both may be set, and both observe the same run.
+	Recorder obs.Recorder
 }
 
 // DefaultEngineConfig mirrors the paper's setup: K=3, warm start,
@@ -153,11 +162,18 @@ func NewEngine(meta *metalearn.MetaModel, cfg EngineConfig) *Engine {
 // Run executes Algorithm 1 against in-process clients built from the
 // given private splits.
 func (e *Engine) Run(clients []*timeseries.Series) (*Result, error) {
+	rec := e.recorder()
 	nodes := make([]fl.Client, len(clients))
 	for i, s := range clients {
 		node := NewClientNode(s, e.Cfg.Seed+int64(i)*101)
 		if e.Cfg.PrivacyEpsilon > 0 {
 			node = node.WithPrivacy(e.Cfg.PrivacyEpsilon)
+		}
+		if rec != nil {
+			// In-process simulation: client-side cache and candidate-eval
+			// telemetry joins the same stream (TCP clients wire their own
+			// recorder via ClientNode.WithObs).
+			node = node.WithObs(rec, i)
 		}
 		nodes[i] = node
 	}
@@ -175,8 +191,15 @@ func (e *Engine) Run(clients []*timeseries.Series) (*Result, error) {
 type roundContext struct {
 	engine *Engine
 	srv    *fl.Server
-	trace  func(string)
-	start  time.Time
+	// rec is the run's telemetry recorder — the engine's Recorder and
+	// the legacy Trace adapter fanned together (nil when both are off).
+	// Derived at run start so tests may install Cfg.Trace/Cfg.Recorder
+	// after NewEngine.
+	rec   obs.Recorder
+	start time.Time
+	// startNS anchors RunEnd/PhaseEnd durations; captured through
+	// obs.NowNanos, the walltime-allowlisted telemetry clock.
+	startNS int64
 
 	// statsBase scopes communication accounting to this run: the server
 	// may have driven earlier rounds (TCP deployments reuse servers).
@@ -223,31 +246,89 @@ func (e *Engine) newRoundContext(srv *fl.Server) *roundContext {
 	return &roundContext{
 		engine: e,
 		srv:    srv,
-		trace:  e.trace(),
+		rec:    e.recorder(),
 		//lint:allow walltime TimeBudget is a wall-clock contract with the user (Algorithm 1's T)
 		start:     time.Now(),
+		startNS:   obs.NowNanos(),
 		statsBase: srv.Stats(),
 		result:    &Result{},
 	}
 }
 
+// note emits a human-readable annotation; the legacy Trace callback
+// receives it verbatim through the adapter.
+func (rc *roundContext) note(s string) {
+	if rc.rec != nil {
+		rc.rec.Record(obs.Note{Text: s})
+	}
+}
+
+// errString renders an error for telemetry fields ("" for nil).
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
 // RunWithServer executes Algorithm 1 over an arbitrary transport (the
 // TCP deployment path uses this directly): the five phases run in
-// order over one shared roundContext.
+// order over one shared roundContext, each wrapped in a
+// PhaseStart/PhaseEnd span, with the whole run bracketed by
+// RunStart/RunEnd. The server carries the run's recorder for its
+// duration so the quorum layer can emit per-attempt ClientCall events.
 func (e *Engine) RunWithServer(srv *fl.Server) (*Result, error) {
 	if srv.NumClients() == 0 {
 		return nil, errors.New("core: no clients connected")
 	}
 	rc := e.newRoundContext(srv)
+	if rc.rec != nil {
+		srv.SetRecorder(rc.rec)
+		defer srv.SetRecorder(nil)
+		rc.rec.Record(obs.RunStart{
+			Clients:    srv.NumClients(),
+			Iterations: e.Cfg.Iterations,
+			BatchSize:  e.Cfg.BatchSize,
+			Seed:       e.Cfg.Seed,
+		})
+	}
 	for _, ph := range enginePhases() {
-		if err := ph.run(rc); err != nil {
+		var phaseStartNS int64
+		if rc.rec != nil {
+			phaseStartNS = obs.NowNanos()
+			rc.rec.Record(obs.PhaseStart{Phase: ph.name})
+		}
+		err := ph.run(rc)
+		if rc.rec != nil {
+			rc.rec.Record(obs.PhaseEnd{
+				Phase:      ph.name,
+				DurationNS: obs.NowNanos() - phaseStartNS,
+				Err:        errString(err),
+			})
+		}
+		if err != nil {
+			if rc.rec != nil {
+				rc.rec.Record(obs.RunEnd{
+					DurationNS: obs.NowNanos() - rc.startNS,
+					Iterations: len(rc.result.History),
+					EvalRounds: rc.result.EvalRounds,
+					Err:        err.Error(),
+				})
+			}
 			return nil, err
 		}
 	}
 	rc.result.Comms = srv.Stats().Sub(rc.statsBase)
-	rc.trace(fmt.Sprintf("comms: %d rounds, %d calls, %d B down, %d B up",
+	rc.note(fmt.Sprintf("comms: %d rounds, %d calls, %d B down, %d B up",
 		rc.result.Comms.Rounds, rc.result.Comms.Calls,
 		rc.result.Comms.BytesDown, rc.result.Comms.BytesUp))
+	if rc.rec != nil {
+		rc.rec.Record(obs.RunEnd{
+			DurationNS: obs.NowNanos() - rc.startNS,
+			Iterations: rc.result.Iterations,
+			EvalRounds: rc.result.EvalRounds,
+		})
+	}
 	return rc.result, nil
 }
 
@@ -255,8 +336,8 @@ func (e *Engine) RunWithServer(srv *fl.Server) (*Result, error) {
 // client, aggregated on the server (Figure 1-I, Algorithm 1 lines
 // 3-8).
 func runPhaseMetaFeatures(rc *roundContext) error {
-	rc.trace("phase I: collecting meta-features")
-	agg, err := rc.engine.collectMetaFeatures(rc.srv)
+	rc.note("phase I: collecting meta-features")
+	agg, err := rc.engine.collectMetaFeatures(rc.srv, rc.rec)
 	if err != nil {
 		return err
 	}
@@ -285,9 +366,9 @@ func runPhaseRecommend(rc *roundContext) error {
 			spaces = restricted
 		}
 		rc.result.Recommended = recommended
-		rc.trace(fmt.Sprintf("phase II: meta-model recommends %v", recommended))
+		rc.note(fmt.Sprintf("phase II: meta-model recommends %v", recommended))
 	} else {
-		rc.trace("phase II: no meta-model, searching the full space")
+		rc.note("phase II: no meta-model, searching the full space")
 	}
 	rc.spaces = spaces
 	return nil
@@ -303,8 +384,8 @@ func runPhaseFeatureSelect(rc *roundContext) error {
 	eng.ExogNames = append([]string(nil), e.Cfg.ExogChannels...)
 	rc.result.NumFeatures = len(eng.FeatureNames())
 	if e.Cfg.FeatureSelection {
-		rc.trace("phase III: federated feature selection")
-		kept, err := e.selectFeatures(rc.srv, eng)
+		rc.note("phase III: federated feature selection")
+		kept, err := e.selectFeatures(rc.srv, eng, rc.rec)
 		if err != nil {
 			return err
 		}
@@ -325,7 +406,7 @@ func runPhaseFeatureSelect(rc *roundContext) error {
 // loop exactly.
 func runPhaseOptimize(rc *roundContext) error {
 	e := rc.engine
-	rc.trace("phase III: Bayesian optimization")
+	rc.note("phase III: Bayesian optimization")
 	opt := bayesopt.New(rc.spaces, e.Cfg.Seed)
 	if e.Cfg.WarmStart {
 		var warm []search.Config
@@ -378,6 +459,13 @@ func runPhaseOptimize(rc *roundContext) error {
 				//lint:allow walltime Elapsed is diagnostic wall-clock telemetry, not part of the replayable result
 				Config: cfgs[j], GlobalLoss: losses[j], Elapsed: time.Since(rc.start),
 			})
+			if rc.rec != nil {
+				rc.rec.Record(obs.BOIteration{
+					Index:  len(result.History) - 1,
+					Config: cfgs[j].String(),
+					Loss:   losses[j],
+				})
+			}
 		}
 		result.EvalRounds++
 	}
@@ -396,7 +484,7 @@ func runPhaseOptimize(rc *roundContext) error {
 // same cached matrices (test phase built on first use).
 func runPhaseFinalFit(rc *roundContext) error {
 	best := rc.result.BestConfig
-	rc.trace(fmt.Sprintf("phase IV: final fit of %s", best.Algorithm))
+	rc.note(fmt.Sprintf("phase IV: final fit of %s", best.Algorithm))
 	losses, err := rc.evalConfigs([]search.Config{best}, kindFitFinal)
 	if err != nil {
 		return err
@@ -415,7 +503,7 @@ func (rc *roundContext) prepareEval() error {
 	encodeEngineer(&req, rc.engineer)
 	encodeSplits(&req, rc.engine.Cfg.Splits)
 	req.Strings[keyFingerprint] = rc.fingerprint
-	if _, _, err := rc.engine.broadcast(rc.srv, req); err != nil {
+	if _, _, err := rc.broadcast(req, 0); err != nil {
 		return roundTripError("prepare", err)
 	}
 	return nil
@@ -429,16 +517,16 @@ func (rc *roundContext) prepareEval() error {
 func (rc *roundContext) evalConfigs(cfgs []search.Config, kind string) ([]float64, error) {
 	req := fl.NewMessage(kind)
 	encodeBatch(&req, rc.fingerprint, cfgs)
-	resps, _, err := rc.engine.broadcast(rc.srv, req)
+	resps, _, err := rc.broadcast(req, len(cfgs))
 	if err != nil {
 		return nil, roundTripError(kind, err)
 	}
 	if needPrepare(resps) {
-		rc.trace(fmt.Sprintf("healing %s round: re-sending prepare to clients without the schema", kind))
+		rc.note(fmt.Sprintf("healing %s round: re-sending prepare to clients without the schema", kind))
 		if err := rc.prepareEval(); err != nil {
 			return nil, err
 		}
-		resps, _, err = rc.engine.broadcast(rc.srv, req)
+		resps, _, err = rc.broadcast(req, len(cfgs))
 		if err != nil {
 			return nil, roundTripError(kind, err)
 		}
@@ -485,39 +573,71 @@ func aggregateBatchLosses(resps []fl.Message, k int) ([]float64, error) {
 	return out, nil
 }
 
-// trace returns the configured trace sink or a no-op.
-func (e *Engine) trace() func(string) {
-	if e.Cfg.Trace != nil {
-		return e.Cfg.Trace
-	}
-	return func(string) {}
+// recorder derives the run's telemetry recorder: the configured typed
+// Recorder fanned together with the legacy Trace adapter. Derived per
+// run (not cached at NewEngine) so callers may install either after
+// construction. Nil when both are unset — telemetry fully disabled.
+func (e *Engine) recorder() obs.Recorder {
+	return obs.Multi(e.Cfg.Recorder, obs.LegacyTrace(e.Cfg.Trace))
 }
 
 // quorum builds the round policy from the engine's resilience knobs.
 // MinClientFraction = 0 maps to full participation (fraction 1.0).
-func (e *Engine) quorum(kind string) fl.QuorumConfig {
-	trace := e.trace()
+// Dropped clients are reported as typed ClientDropped events; the
+// legacy adapter renders them in the historical string form.
+func (e *Engine) quorum(kind string, rec obs.Recorder) fl.QuorumConfig {
 	frac := e.Cfg.MinClientFraction
 	if frac <= 0 {
 		frac = 1
 	}
-	return fl.QuorumConfig{
+	q := fl.QuorumConfig{
 		MinFraction: frac,
 		Retry: fl.RetryPolicy{
 			Timeout:    e.Cfg.CallTimeout,
 			MaxRetries: e.Cfg.MaxRetries,
 			Jitter:     e.jitter,
 		},
-		OnDrop: func(client int, err error) {
-			trace(fmt.Sprintf("client %d dropped from %s round: %v", client, kind, err))
-		},
 	}
+	if rec != nil {
+		q.OnDrop = func(client int, err error) {
+			rec.Record(obs.ClientDropped{Kind: kind, Client: client, Reason: err.Error()})
+		}
+	}
+	return q
 }
 
 // broadcast runs one protocol round under the engine's resilience
-// policy, returning the survivors' responses and client indices.
+// policy, returning the survivors' responses and client indices. It is
+// the path for rounds driven outside a run context (the adaptive
+// runner's drift checks); rounds inside a run go through
+// roundContext.broadcast so span telemetry attaches to the run.
 func (e *Engine) broadcast(srv *fl.Server, req fl.Message) ([]fl.Message, []int, error) {
-	return srv.BroadcastQuorum(req, e.quorum(req.Kind))
+	return e.broadcastObs(srv, req, e.recorder(), 0)
+}
+
+// broadcastObs drives one quorum round wrapped in RoundStart/RoundEnd
+// span events (when a recorder is live). Batch is the candidate count
+// for evaluation rounds, 0 for metadata rounds.
+func (e *Engine) broadcastObs(srv *fl.Server, req fl.Message, rec obs.Recorder, batch int) ([]fl.Message, []int, error) {
+	if rec == nil {
+		return srv.BroadcastQuorum(req, e.quorum(req.Kind, nil))
+	}
+	rec.Record(obs.RoundStart{Kind: req.Kind, Batch: batch, Clients: srv.NumClients()})
+	startNS := obs.NowNanos()
+	msgs, idx, err := srv.BroadcastQuorum(req, e.quorum(req.Kind, rec))
+	rec.Record(obs.RoundEnd{
+		Kind:       req.Kind,
+		Batch:      batch,
+		Survivors:  len(idx),
+		DurationNS: obs.NowNanos() - startNS,
+		Err:        errString(err),
+	})
+	return msgs, idx, err
+}
+
+// broadcast drives one in-run protocol round with the run's recorder.
+func (rc *roundContext) broadcast(req fl.Message, batch int) ([]fl.Message, []int, error) {
+	return rc.engine.broadcastObs(rc.srv, req, rc.rec, batch)
 }
 
 // collectMetaFeatures runs the two Phase-I rounds. Under partial
@@ -525,8 +645,8 @@ func (e *Engine) broadcast(srv *fl.Server, req fl.Message) ([]fl.Message, []int,
 // it; the value range and fingerprints of dropped clients are simply
 // absent from the global aggregate, mirroring Flower's per-round
 // sampling.
-func (e *Engine) collectMetaFeatures(srv *fl.Server) (metafeat.Aggregated, error) {
-	rangeResps, _, err := e.broadcast(srv, fl.NewMessage(kindRange))
+func (e *Engine) collectMetaFeatures(srv *fl.Server, rec obs.Recorder) (metafeat.Aggregated, error) {
+	rangeResps, _, err := e.broadcastObs(srv, fl.NewMessage(kindRange), rec, 0)
 	if err != nil {
 		return metafeat.Aggregated{}, roundTripError("range", err)
 	}
@@ -542,7 +662,7 @@ func (e *Engine) collectMetaFeatures(srv *fl.Server) (metafeat.Aggregated, error
 	req := fl.NewMessage(kindMetaFeatures)
 	req.Scalars["lo"] = lo
 	req.Scalars["hi"] = hi
-	resps, _, err := e.broadcast(srv, req)
+	resps, _, err := e.broadcastObs(srv, req, rec, 0)
 	if err != nil {
 		return metafeat.Aggregated{}, roundTripError("metafeatures", err)
 	}
@@ -554,10 +674,10 @@ func (e *Engine) collectMetaFeatures(srv *fl.Server) (metafeat.Aggregated, error
 }
 
 // selectFeatures runs the federated feature-selection round.
-func (e *Engine) selectFeatures(srv *fl.Server, eng *features.Engineer) ([]int, error) {
+func (e *Engine) selectFeatures(srv *fl.Server, eng *features.Engineer, rec obs.Recorder) ([]int, error) {
 	req := fl.NewMessage(kindImportances)
 	encodeEngineer(&req, eng)
-	resps, _, err := e.broadcast(srv, req)
+	resps, _, err := e.broadcastObs(srv, req, rec, 0)
 	if err != nil {
 		return nil, roundTripError("importances", err)
 	}

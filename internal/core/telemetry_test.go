@@ -1,0 +1,261 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"fedforecaster/internal/fl"
+	"fedforecaster/internal/obs"
+)
+
+// historyFingerprint renders a result's replayable surface — candidate
+// order, bit-exact losses, incumbent, test MSE — as comparable strings.
+// Elapsed is excluded: it is documented wall-clock diagnostics.
+func historyFingerprint(res *Result) []string {
+	out := make([]string, 0, len(res.History)+2)
+	for _, h := range res.History {
+		out = append(out, fmt.Sprintf("%s|%016x", h.Config.String(), math.Float64bits(h.GlobalLoss)))
+	}
+	out = append(out,
+		fmt.Sprintf("best:%s|%016x", res.BestConfig.String(), math.Float64bits(res.BestValidLoss)),
+		fmt.Sprintf("test:%016x", math.Float64bits(res.TestMSE)))
+	return out
+}
+
+// TestNilRecorderRunIdentical pins the telemetry no-interference
+// contract: a run with a live recorder produces exactly the same
+// Result (history, incumbent, test MSE, communication accounting) as a
+// nil-recorder run. Events observe the run; they never perturb it.
+func TestNilRecorderRunIdentical(t *testing.T) {
+	run := func(rec obs.Recorder) *Result {
+		clients := fedDataset(t, 1600, 4, 11)
+		cfg := smallEngineConfig(42)
+		cfg.Iterations = 8
+		cfg.Recorder = rec
+		eng := NewEngine(nil, cfg)
+		res, err := eng.Run(clients)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	plain := run(nil)
+	recorded := run(obs.Multi(obs.NewMetrics(), obs.NewJSONL(io.Discard)))
+
+	a, b := historyFingerprint(plain), historyFingerprint(recorded)
+	if len(a) != len(b) {
+		t.Fatalf("fingerprint lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("fingerprint[%d]: nil-recorder %q vs recording %q", i, a[i], b[i])
+		}
+	}
+	if plain.Comms != recorded.Comms {
+		t.Errorf("comms differ: %+v vs %+v", plain.Comms, recorded.Comms)
+	}
+}
+
+// TestTraceOutCoversAllPhases drives a run into a JSONL sink and
+// checks the stream's shape: one run span, all five phase spans in
+// order, round spans, per-attempt client calls, BO iterations matching
+// the budget, and client-side cache records.
+func TestTraceOutCoversAllPhases(t *testing.T) {
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	clients := fedDataset(t, 1500, 3, 1)
+	cfg := smallEngineConfig(2)
+	cfg.BatchSize = 2
+	cfg.Recorder = sink
+	eng := NewEngine(nil, cfg)
+	res, err := eng.Run(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	type envelope struct {
+		TS    int64           `json:"ts"`
+		Event string          `json:"event"`
+		Data  json.RawMessage `json:"data"`
+	}
+	counts := map[string]int{}
+	var phaseStarts []string
+	for _, line := range strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n") {
+		var env envelope
+		if err := json.Unmarshal([]byte(line), &env); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if env.TS == 0 {
+			t.Fatalf("line %q missing timestamp", line)
+		}
+		counts[env.Event]++
+		if env.Event == "phase_start" {
+			var d struct {
+				Phase string `json:"phase"`
+			}
+			if err := json.Unmarshal(env.Data, &d); err != nil {
+				t.Fatal(err)
+			}
+			phaseStarts = append(phaseStarts, d.Phase)
+		}
+	}
+
+	wantPhases := []string{"meta-features", "recommend", "feature-select", "optimize", "final-fit"}
+	if fmt.Sprint(phaseStarts) != fmt.Sprint(wantPhases) {
+		t.Errorf("phase spans = %v, want %v", phaseStarts, wantPhases)
+	}
+	if counts["phase_end"] != len(wantPhases) {
+		t.Errorf("phase_end count = %d, want %d", counts["phase_end"], len(wantPhases))
+	}
+	if counts["run_start"] != 1 || counts["run_end"] != 1 {
+		t.Errorf("run span = %d starts / %d ends, want 1/1", counts["run_start"], counts["run_end"])
+	}
+	if counts["round_start"] == 0 || counts["round_start"] != counts["round_end"] {
+		t.Errorf("round spans unbalanced: %d starts, %d ends", counts["round_start"], counts["round_end"])
+	}
+	if counts["bo_iteration"] != res.Iterations {
+		t.Errorf("bo_iteration count = %d, want %d", counts["bo_iteration"], res.Iterations)
+	}
+	if counts["client_call"] < res.Comms.Calls {
+		t.Errorf("client_call count = %d, want >= %d successful calls", counts["client_call"], res.Comms.Calls)
+	}
+	if counts["client_cache"] == 0 {
+		t.Error("no client_cache events: the v2 matrix cache went unobserved")
+	}
+	if counts["candidate_eval"] == 0 {
+		t.Error("no candidate_eval events")
+	}
+	if counts["note"] == 0 {
+		t.Error("no note events: the legacy trace strings should ride the stream")
+	}
+}
+
+// TestTelemetryRaceBatchedChaosRun is the acceptance scenario under
+// the race detector: a batched run over a chaos transport (transient
+// flaps + one mid-run death) with a live Metrics recorder, a JSONL
+// sink, the chaos injector reporting into the same stream, and an HTTP
+// scraper hammering /metrics concurrently. The run must finish, waste
+// must be visible in Result.Comms, and the scrape must expose
+// per-client latency histograms plus drop/retry/chaos counters.
+func TestTelemetryRaceBatchedChaosRun(t *testing.T) {
+	clients := fedDataset(t, 1600, 4, 11)
+	cfg := resilientConfig(5, 0.5, 2)
+	cfg.BatchSize = 2
+	cfg.Iterations = 6
+
+	metrics := obs.NewMetrics()
+	sink := obs.NewJSONL(io.Discard)
+	cfg.Recorder = obs.Multi(metrics, sink)
+
+	srv, chaos := chaosServer(clients, cfg.Seed)
+	defer srv.Close()
+	chaos.SetRecorder(cfg.Recorder)
+	chaos.SetFaults(1, fl.ClientFaults{FailFirst: 2})
+	chaos.SetFaults(2, fl.ClientFaults{DieAfter: 5})
+
+	httpSrv, err := obs.Serve("127.0.0.1:0", obs.ServeOptions{Metrics: metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpSrv.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			resp, err := http.Get("http://" + httpSrv.Addr() + "/metrics")
+			if err != nil {
+				continue // server may be mid-shutdown at test end
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	eng := NewEngine(nil, cfg)
+	res, err := eng.RunWithServer(srv)
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatalf("JSONL sink: %v", err)
+	}
+	if res.Iterations != cfg.Iterations {
+		t.Errorf("iterations = %d, want %d", res.Iterations, cfg.Iterations)
+	}
+
+	// The satellite fix's acceptance: retried/failed attempts surface
+	// as waste in the run-scoped accounting.
+	if res.Comms.WastedCalls == 0 || res.Comms.WastedBytes == 0 {
+		t.Errorf("chaos run reported no waste: %+v", res.Comms)
+	}
+
+	var b strings.Builder
+	if err := metrics.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"fedforecaster_runs_ended_total 1",
+		`fedforecaster_client_call_seconds_bucket{client="1",le="+Inf"}`,
+		`fedforecaster_client_calls_total{client="1",outcome="transient"}`,
+		`fedforecaster_client_retries_total{client="1"}`,
+		`fedforecaster_client_drops_total{client="2"}`,
+		`fedforecaster_chaos_injections_total{fault="transient"}`,
+		"fedforecaster_rounds_completed_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("final exposition missing %q", want)
+		}
+	}
+}
+
+// TestLegacyTraceStillObservesRuns: Cfg.Trace set after NewEngine (the
+// documented pattern in older tests) keeps receiving the phase strings
+// even though it now rides the typed event stream.
+func TestLegacyTraceStillObservesRuns(t *testing.T) {
+	clients := fedDataset(t, 1200, 3, 9)
+	eng := NewEngine(nil, smallEngineConfig(4))
+	eng.Cfg.Iterations = 2
+	var mu sync.Mutex
+	var events []string
+	eng.Cfg.Trace = func(ev string) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}
+	if _, err := eng.Run(clients); err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(events, "\n")
+	for _, want := range []string{
+		"phase I: collecting meta-features",
+		"phase III: Bayesian optimization",
+		"phase IV: final fit",
+		"comms:",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("legacy trace missing %q in:\n%s", want, joined)
+		}
+	}
+}

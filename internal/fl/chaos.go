@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"fedforecaster/internal/obs"
 )
 
 // ErrTransient marks an injected retryable fault: the call failed but
@@ -61,6 +63,7 @@ type ChaosTransport struct {
 
 	mu      sync.Mutex
 	clients map[int]*chaosClient
+	rec     obs.Recorder
 }
 
 // NewChaos wraps the transport. Each client's fault RNG is derived from
@@ -80,6 +83,31 @@ func (t *ChaosTransport) client(i int) *chaosClient {
 		t.clients[i] = c
 	}
 	return c
+}
+
+// SetRecorder installs a telemetry recorder that receives one
+// ChaosInject event per injected fault (delay, transient, die, dead,
+// corrupt). Events are emitted outside the per-client mutex, on the
+// calling goroutine, after the fate decision — they observe faults,
+// never perturb the three-draw RNG schedule.
+func (t *ChaosTransport) SetRecorder(r obs.Recorder) {
+	t.mu.Lock()
+	t.rec = r
+	t.mu.Unlock()
+}
+
+// recorder snapshots the current recorder (possibly nil).
+func (t *ChaosTransport) recorder() obs.Recorder {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rec
+}
+
+// inject reports one injected fault to the recorder, if any.
+func (t *ChaosTransport) inject(client int, fault string) {
+	if rec := t.recorder(); rec != nil {
+		rec.Record(obs.ChaosInject{Client: client, Fault: fault})
+	}
 }
 
 // SetFaults installs (replaces) client i's fault schedule.
@@ -132,6 +160,7 @@ func (t *ChaosTransport) Call(i int, req Message) (Message, error) {
 	c.mu.Lock()
 	if c.dead {
 		c.mu.Unlock()
+		t.inject(i, "dead")
 		return Message{}, fmt.Errorf("fl: chaos client %d: %w", i, ErrClientDead)
 	}
 	c.calls++
@@ -140,6 +169,7 @@ func (t *ChaosTransport) Call(i int, req Message) (Message, error) {
 	if f.DieAfter > 0 && c.calls > f.DieAfter {
 		c.dead = true
 		c.mu.Unlock()
+		t.inject(i, "die")
 		return Message{}, fmt.Errorf("fl: chaos client %d: %w", i, ErrClientDead)
 	}
 	delay := time.Duration(0)
@@ -151,9 +181,11 @@ func (t *ChaosTransport) Call(i int, req Message) (Message, error) {
 	c.mu.Unlock()
 
 	if delay > 0 {
+		t.inject(i, "delay")
 		time.Sleep(delay)
 	}
 	if transient {
+		t.inject(i, "transient")
 		return Message{}, fmt.Errorf("fl: chaos client %d: %w", i, ErrTransient)
 	}
 	resp, err := t.inner.Call(i, req)
@@ -161,6 +193,7 @@ func (t *ChaosTransport) Call(i int, req Message) (Message, error) {
 		return Message{}, err
 	}
 	if corrupt {
+		t.inject(i, "corrupt")
 		resp = corruptMessage(resp)
 	}
 	return resp, nil

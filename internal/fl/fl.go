@@ -15,6 +15,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"fedforecaster/internal/obs"
 )
 
 // Message is the unit of client↔server communication: a kind tag plus
@@ -124,8 +126,10 @@ type Transport interface {
 
 // Stats is a server's cumulative communication accounting. Byte
 // counts are PayloadSize estimates of the request/response payload
-// maps; retries and failed calls are not separately charged (the
-// estimate tracks useful communication, not wire waste).
+// maps. Useful communication (Calls / BytesDown / BytesUp) bills only
+// successful logical calls; wire waste — request payloads shipped on
+// attempts that failed and had to be retried or dropped — is tracked
+// separately in WastedCalls / WastedBytes by the quorum retry layer.
 type Stats struct {
 	// Rounds counts multi-client rounds driven (Broadcast, CallSubset
 	// and their quorum variants).
@@ -136,16 +140,26 @@ type Stats struct {
 	BytesDown int64
 	// BytesUp estimates client→server payload bytes (responses).
 	BytesUp int64
+	// WastedCalls counts failed per-attempt client calls under the
+	// quorum retry layer (transient faults, timeouts, dead clients) —
+	// attempts that consumed wire and wall-clock without producing a
+	// usable response.
+	WastedCalls int
+	// WastedBytes estimates the request payload bytes shipped on those
+	// failed attempts.
+	WastedBytes int64
 }
 
 // Sub returns the stats delta s − base, for scoping accounting to one
 // run on a shared server.
 func (s Stats) Sub(base Stats) Stats {
 	return Stats{
-		Rounds:    s.Rounds - base.Rounds,
-		Calls:     s.Calls - base.Calls,
-		BytesDown: s.BytesDown - base.BytesDown,
-		BytesUp:   s.BytesUp - base.BytesUp,
+		Rounds:      s.Rounds - base.Rounds,
+		Calls:       s.Calls - base.Calls,
+		BytesDown:   s.BytesDown - base.BytesDown,
+		BytesUp:     s.BytesUp - base.BytesUp,
+		WastedCalls: s.WastedCalls - base.WastedCalls,
+		WastedBytes: s.WastedBytes - base.WastedBytes,
 	}
 }
 
@@ -153,14 +167,59 @@ func (s Stats) Sub(base Stats) Stats {
 type Server struct {
 	transport Transport
 
-	// statsMu guards stats: rounds may (in principle) be driven
+	// statsMu guards stats and rec: rounds may (in principle) be driven
 	// concurrently, and accounting must never race them.
 	statsMu sync.Mutex
 	stats   Stats
+	rec     obs.Recorder
 }
 
 // NewServer returns a server bound to the transport.
 func NewServer(t Transport) *Server { return &Server{transport: t} }
+
+// SetRecorder installs (or, with nil, removes) the telemetry recorder
+// the server's quorum layer emits per-attempt ClientCall events to.
+// Safe to call between rounds; the engine installs its recorder for
+// the duration of a run and clears it afterwards.
+func (s *Server) SetRecorder(r obs.Recorder) {
+	s.statsMu.Lock()
+	s.rec = r
+	s.statsMu.Unlock()
+}
+
+// recorder snapshots the current recorder (possibly nil).
+func (s *Server) recorder() obs.Recorder {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.rec
+}
+
+// accountWaste charges failed attempts: wire shipped (request payloads)
+// that produced no usable response. Called from per-client attempt
+// hooks, so it takes the stats lock itself.
+func (s *Server) accountWaste(calls int, bytes int64) {
+	s.statsMu.Lock()
+	s.stats.WastedCalls += calls
+	s.stats.WastedBytes += bytes
+	s.statsMu.Unlock()
+}
+
+// outcomeOf classifies a per-attempt error into the obs outcome
+// vocabulary.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return obs.OutcomeOK
+	case errors.Is(err, ErrClientDead):
+		return obs.OutcomeDead
+	case errors.Is(err, ErrCallTimeout):
+		return obs.OutcomeTimeout
+	case errors.Is(err, ErrTransient):
+		return obs.OutcomeTransient
+	default:
+		return obs.OutcomeError
+	}
+}
 
 // NumClients reports the connected client count.
 func (s *Server) NumClients() int { return s.transport.NumClients() }

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"fedforecaster/internal/obs"
 )
 
 // ErrClientDead marks a client as permanently unreachable: its
@@ -133,18 +135,35 @@ func callOnce(t Transport, i int, req Message, timeout time.Duration) (Message, 
 	}
 }
 
+// attemptHook observes one per-attempt outcome inside a policied call:
+// the client index, the 1-based attempt number, the attempt's wall
+// latency, the response (zero on failure), and the attempt's error.
+// Hooks run on the calling goroutine of the attempt, so a hook used
+// from a concurrent round must be safe for concurrent invocation.
+type attemptHook func(client, attempt int, latencyNS int64, resp Message, err error)
+
 // CallWithPolicy performs one logical call to client i under the
 // policy: each attempt is deadline-bounded, failed attempts are retried
 // with exponential backoff + jitter, and permanently dead clients fail
 // fast. It returns the last error when all attempts fail.
 func CallWithPolicy(t Transport, i int, req Message, p RetryPolicy) (Message, error) {
+	return callWithPolicy(t, i, req, p, nil)
+}
+
+// callWithPolicy is CallWithPolicy with a per-attempt observer — the
+// seam the quorum layer uses for telemetry and waste accounting.
+func callWithPolicy(t Transport, i int, req Message, p RetryPolicy, hook attemptHook) (Message, error) {
 	p = p.withDefaults()
 	var lastErr error
 	for attempt := 0; attempt <= p.MaxRetries; attempt++ {
 		if attempt > 0 {
 			time.Sleep(p.backoff(attempt))
 		}
+		start := time.Now()
 		msg, err := callOnce(t, i, req, p.Timeout)
+		if hook != nil {
+			hook(i, attempt+1, time.Since(start).Nanoseconds(), msg, err)
+		}
 		if err == nil {
 			return msg, nil
 		}
@@ -212,12 +231,36 @@ func (s *Server) CallSubsetQuorum(clients []int, req Message, q QuorumConfig) ([
 	}
 	out := make([]Message, n)
 	errs := make([]error, n)
+	// The per-attempt hook bills waste (request payloads shipped on
+	// failed attempts) and emits typed ClientCall telemetry. It runs on
+	// concurrent per-client goroutines; accountWaste locks internally
+	// and Recorders are concurrent-safe by contract.
+	rec := s.recorder()
+	reqBytes := req.PayloadSize()
+	hook := func(client, attempt int, latencyNS int64, resp Message, err error) {
+		bytes := reqBytes
+		if err != nil {
+			s.accountWaste(1, reqBytes)
+		} else {
+			bytes += resp.PayloadSize()
+		}
+		if rec != nil {
+			rec.Record(obs.ClientCall{
+				Kind:      req.Kind,
+				Client:    client,
+				Attempt:   attempt,
+				LatencyNS: latencyNS,
+				Bytes:     bytes,
+				Outcome:   outcomeOf(err),
+			})
+		}
+	}
 	var wg sync.WaitGroup
 	for i, c := range clients {
 		wg.Add(1)
 		go func(i, c int) {
 			defer wg.Done()
-			out[i], errs[i] = CallWithPolicy(s.transport, c, req, q.Retry)
+			out[i], errs[i] = callWithPolicy(s.transport, c, req, q.Retry, hook)
 		}(i, c)
 	}
 	wg.Wait()

@@ -78,6 +78,13 @@ type Config struct {
 	// WalltimePkgs lists the import paths of deterministic algorithm
 	// packages where wall-clock reads are forbidden.
 	WalltimePkgs map[string]bool
+	// WalltimeAllowFuncs names sanctioned wall-clock capture sites
+	// (types.Func.FullName form, e.g. "module/internal/obs.NowNanos"):
+	// wall-clock reads lexically inside these function declarations are
+	// permitted without per-line annotation. This is how a
+	// walltime-scoped telemetry package funnels all clock access through
+	// one audited function.
+	WalltimeAllowFuncs map[string]bool
 	// ErrDropAllow lists fully-qualified functions (types.Func.FullName
 	// form, e.g. "fmt.Println" or "(*strings.Builder).WriteString")
 	// whose error results may be discarded without annotation.
@@ -114,12 +121,18 @@ type Config struct {
 // repository's tolerance helpers may compare floats exactly.
 func DefaultConfig(modulePath string) Config {
 	wt := map[string]bool{}
-	for _, p := range []string{"core", "synth", "bayesopt", "metafeat", "ensemble", "tree"} {
+	for _, p := range []string{"core", "synth", "bayesopt", "metafeat", "ensemble", "tree", "obs"} {
 		wt[modulePath+"/internal/"+p] = true
 	}
 	return Config{
 		ModulePath:   modulePath,
 		WalltimePkgs: wt,
+		WalltimeAllowFuncs: map[string]bool{
+			// The telemetry layer's single sanctioned wall-clock capture
+			// site: every timestamp/duration in the event stream funnels
+			// through it, so instrumented packages stay annotation-free.
+			modulePath + "/internal/obs.NowNanos": true,
+		},
 		ErrDropAllow: map[string]bool{
 			// Console output: failure is untestable and unactionable.
 			"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
@@ -187,6 +200,7 @@ func FixtureConfig(importPaths ...string) Config {
 	cfg := DefaultConfig("fixture")
 	for _, ip := range importPaths {
 		cfg.WalltimePkgs[ip] = true
+		cfg.WalltimeAllowFuncs[ip+".Capture"] = true
 		cfg.PrivacySourceTypes[ip+".Series"] = true
 		cfg.PrivacySinkTypes[ip+".Message"] = true
 		cfg.PrivacySinkFuncs[ip+".Send"] = true

@@ -26,3 +26,12 @@ func Suppressed() time.Time {
 	//lint:allow walltime fixture exercises an annotated wall-clock read
 	return time.Now()
 }
+
+// Capture is the fixture's sanctioned capture site: FixtureConfig
+// registers <fixture-path>.Capture in Config.WalltimeAllowFuncs, so
+// the wall-clock reads in its body need no annotation — the
+// obs.NowNanos pattern.
+func Capture() int64 {
+	start := time.Now()
+	return time.Since(start).Nanoseconds() + start.UnixNano()
+}

@@ -1,20 +1,32 @@
 package lint
 
 import (
+	"go/ast"
+	"go/token"
 	"go/types"
 )
 
 // Walltime forbids wall-clock reads (time.Now, time.Since,
 // time.Until) in the deterministic algorithm packages listed in
 // Config.WalltimePkgs — core, synth, bayesopt, metafeat, ensemble,
-// tree in the default policy. Those packages define outputs that must
-// replay bit-identically from a seed; a wall-clock read smuggles the
-// machine's scheduler into the result. Transport deadline code (fl)
-// and command-line tools are outside the configured scope. A genuine
-// wall-clock requirement inside a scoped package (e.g. a user-facing
-// time budget) must be annotated:
+// tree, obs in the default policy. Those packages define outputs that
+// must replay bit-identically from a seed; a wall-clock read smuggles
+// the machine's scheduler into the result. Transport deadline code
+// (fl) and command-line tools are outside the configured scope.
 //
-//	//lint:allow walltime <why wall time is part of the contract>
+// Two escape hatches exist, with different audiences:
+//
+//   - Config.WalltimeAllowFuncs names sanctioned capture-site
+//     functions (types.Func.FullName form): wall-clock reads inside
+//     their bodies are permitted. The policy allowlists exactly one —
+//     obs.NowNanos — so all telemetry timestamps funnel through an
+//     audited single point and instrumented packages need no per-line
+//     annotations.
+//
+//   - A genuine wall-clock requirement elsewhere in a scoped package
+//     (e.g. a user-facing time budget) must be annotated per line:
+//
+//     //lint:allow walltime <why wall time is part of the contract>
 var Walltime = &Analyzer{
 	Name: "walltime",
 	Doc:  "forbid time.Now/Since/Until in deterministic algorithm packages",
@@ -29,6 +41,7 @@ func runWalltime(p *Pass) {
 	if !p.Config.WalltimePkgs[p.Pkg.ImportPath] {
 		return
 	}
+	allowed := walltimeAllowedRanges(p)
 	for ident, obj := range p.Pkg.Info.Uses {
 		fn, ok := obj.(*types.Func)
 		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
@@ -40,8 +53,48 @@ func runWalltime(p *Pass) {
 		if !walltimeReads[fn.Name()] {
 			continue
 		}
+		if allowed.contains(ident.Pos()) {
+			continue
+		}
 		p.Reportf(ident.Pos(),
 			"time.%s reads the wall clock in deterministic package %s; inject time or annotate //lint:allow walltime <reason>",
 			fn.Name(), p.Pkg.ImportPath)
 	}
+}
+
+// posRanges is a set of [lo, hi) source position intervals.
+type posRanges []struct{ lo, hi token.Pos }
+
+// contains reports whether pos falls inside any interval.
+func (rs posRanges) contains(pos token.Pos) bool {
+	for _, r := range rs {
+		if pos >= r.lo && pos < r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// walltimeAllowedRanges collects the source extents of the package's
+// function declarations named in Config.WalltimeAllowFuncs — the
+// sanctioned wall-clock capture sites.
+func walltimeAllowedRanges(p *Pass) posRanges {
+	if len(p.Config.WalltimeAllowFuncs) == 0 {
+		return nil
+	}
+	var out posRanges
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok || !p.Config.WalltimeAllowFuncs[fn.FullName()] {
+				continue
+			}
+			out = append(out, struct{ lo, hi token.Pos }{fd.Pos(), fd.End()})
+		}
+	}
+	return out
 }

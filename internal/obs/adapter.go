@@ -1,0 +1,34 @@
+package obs
+
+import "fmt"
+
+// legacyTrace renders the human-readable subset of the event stream
+// through a func(string) — the adapter that keeps EngineConfig.Trace
+// working on top of the typed event pipeline.
+type legacyTrace struct {
+	f func(string)
+}
+
+// Record implements Recorder. Only events that were strings in the
+// pre-telemetry engine are rendered — Note verbatim and ClientDropped
+// in the legacy "client N dropped from <kind> round: <err>" form — so
+// the adapter's output is byte-compatible with the old Trace stream
+// and the callback is only ever invoked from the engine's sequential
+// trace points (never from concurrent per-client goroutines).
+func (l legacyTrace) Record(ev Event) {
+	switch e := ev.(type) {
+	case Note:
+		l.f(e.Text)
+	case ClientDropped:
+		l.f(fmt.Sprintf("client %d dropped from %s round: %s", e.Client, e.Kind, e.Reason))
+	}
+}
+
+// LegacyTrace adapts a legacy trace callback into a Recorder. A nil
+// callback yields a nil Recorder (telemetry disabled).
+func LegacyTrace(f func(string)) Recorder {
+	if f == nil {
+		return nil
+	}
+	return legacyTrace{f: f}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// defaultStallAfter is the /healthz stall threshold when the caller
+// does not supply one (e.g. no CallTimeout configured).
+const defaultStallAfter = time.Minute
+
+// ServeOptions configure the observability HTTP server.
+type ServeOptions struct {
+	// Metrics is the recorder backing /metrics and the /healthz
+	// liveness signal. Nil serves an empty exposition and an
+	// always-healthy /healthz (pprof remains useful on its own).
+	Metrics *Metrics
+	// StallAfter is the round-liveness threshold: while a run is
+	// active, /healthz reports unhealthy once the last round event is
+	// older than this. The engine's CallTimeout (plus retry headroom)
+	// is the natural setting — a round that outlives every per-call
+	// deadline is stuck. 0 means defaultStallAfter.
+	StallAfter time.Duration
+}
+
+// HTTPServer is a running observability endpoint. Close shuts it down.
+type HTTPServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	mu   sync.Mutex
+	serr error // first error returned by Serve (nil for clean shutdown)
+}
+
+// Serve starts an HTTP server on addr exposing:
+//
+//	/metrics        Prometheus text exposition from opts.Metrics
+//	/healthz        round liveness (503 once an active run stalls)
+//	/debug/pprof/…  the standard net/http/pprof profile handlers
+//
+// The server runs until Close. It is opt-in — a run without an
+// observability address never opens a socket.
+func Serve(addr string, opts ServeOptions) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	stall := opts.StallAfter
+	if stall <= 0 {
+		stall = defaultStallAfter
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if opts.Metrics == nil {
+			return
+		}
+		// The write error is the scraper hanging up mid-response;
+		// nothing to do server-side.
+		//lint:allow errdrop a failed scrape write is the client's disconnect, not an actionable server error
+		opts.Metrics.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		healthz(w, opts.Metrics, stall)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &HTTPServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() {
+		err := s.srv.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		s.mu.Lock()
+		s.serr = err
+		s.mu.Unlock()
+	}()
+	return s, nil
+}
+
+// healthz renders the liveness verdict: healthy while no run is active
+// or the last run/round event is fresher than the stall threshold.
+func healthz(w http.ResponseWriter, m *Metrics, stall time.Duration) {
+	w.Header().Set("Content-Type", "application/json")
+	status, code := "ok", http.StatusOK
+	var active, ageNS int64
+	if m != nil {
+		active = m.ActiveRuns()
+		if last := m.LastActivityNanos(); last > 0 {
+			ageNS = NowNanos() - last
+		}
+		if active > 0 && time.Duration(ageNS) > stall {
+			status, code = "stalled", http.StatusServiceUnavailable
+		}
+	}
+	w.WriteHeader(code)
+	// The response writer failing means the probe hung up; the verdict
+	// was already committed via the status code.
+	//lint:allow errdrop health probe disconnects are not actionable server-side
+	fmt.Fprintf(w, "{\"status\":%q,\"active_runs\":%d,\"last_activity_age_seconds\":%s}\n",
+		status, active, fnum(float64(ageNS)/1e9))
+}
+
+// Addr reports the bound listen address (useful with ":0").
+func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down and returns the first serve error, if
+// any.
+func (s *HTTPServer) Close() error {
+	err := s.srv.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.serr
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// get fetches a path from the test server.
+func get(t *testing.T, srv *HTTPServer, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + srv.Addr() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeMetricsAndPprof(t *testing.T) {
+	m := NewMetrics()
+	m.Record(RunStart{Clients: 2})
+	srv, err := Serve("127.0.0.1:0", ServeOptions{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Errorf("/metrics status = %d", code)
+	}
+	if !strings.Contains(body, "fedforecaster_runs_started_total 1") {
+		t.Errorf("/metrics missing run counter; got:\n%s", body)
+	}
+	if code, body := get(t, srv, "/debug/pprof/cmdline"); code != http.StatusOK || body == "" {
+		t.Errorf("/debug/pprof/cmdline status = %d, body %d bytes", code, len(body))
+	}
+}
+
+func TestHealthzStallDetection(t *testing.T) {
+	m := NewMetrics()
+	srv, err := Serve("127.0.0.1:0", ServeOptions{Metrics: m, StallAfter: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// No active run: healthy regardless of age.
+	if code, body := get(t, srv, "/healthz"); code != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
+		t.Errorf("idle healthz = %d %s, want 200 ok", code, body)
+	}
+
+	// Active run with fresh activity: healthy.
+	m.Record(RunStart{Clients: 2})
+	if code, _ := get(t, srv, "/healthz"); code != http.StatusOK {
+		t.Errorf("fresh-run healthz = %d, want 200", code)
+	}
+
+	// Let the run outlive the stall threshold with no round events.
+	time.Sleep(120 * time.Millisecond)
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, `"status":"stalled"`) {
+		t.Errorf("stalled healthz = %d %s, want 503 stalled", code, body)
+	}
+
+	// A round event revives liveness.
+	m.Record(RoundEnd{Kind: "eval/config", Survivors: 2})
+	if code, _ := get(t, srv, "/healthz"); code != http.StatusOK {
+		t.Errorf("revived healthz = %d, want 200", code)
+	}
+
+	// Run ends: healthy again even as time passes.
+	m.Record(RunEnd{})
+	time.Sleep(120 * time.Millisecond)
+	if code, _ := get(t, srv, "/healthz"); code != http.StatusOK {
+		t.Errorf("post-run healthz = %d, want 200", code)
+	}
+}
+
+func TestServeNilMetrics(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", ServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, _ := get(t, srv, "/metrics"); code != http.StatusOK {
+		t.Errorf("nil-metrics /metrics = %d, want 200 (empty exposition)", code)
+	}
+	if code, body := get(t, srv, "/healthz"); code != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
+		t.Errorf("nil-metrics healthz = %d %s, want always-healthy", code, body)
+	}
+}

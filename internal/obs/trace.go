@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// jsonlEnvelope is the stable JSON-lines record shape: a wall-clock
+// timestamp (the only nondeterministic top-level field), the event
+// name, and the event payload under "data" with the field names fixed
+// by each event struct's json tags. TestJSONLGoldenSchema pins the
+// schema; extending it is append-only (new events, new optional
+// fields) so offline analyzers keep working across versions.
+type jsonlEnvelope struct {
+	TS    int64  `json:"ts"`
+	Event string `json:"event"`
+	Data  Event  `json:"data"`
+}
+
+// JSONL is a Recorder writing one JSON object per event to an
+// io.Writer — the `-trace-out file.jsonl` sink, mirroring fedlint's
+// -json mode: a schema-stable stream a run can be replayed and
+// analyzed from offline. Writes are serialized by an internal mutex;
+// the first write or encode error is retained and reported by Err
+// (later events are dropped once the sink has failed).
+type JSONL struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+	// now supplies timestamps; tests inject a fixed clock so golden
+	// output is deterministic.
+	now func() int64
+}
+
+// NewJSONL returns a JSON-lines sink over w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: w, now: NowNanos}
+}
+
+// Record implements Recorder.
+func (j *JSONL) Record(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	line, err := json.Marshal(jsonlEnvelope{TS: j.now(), Event: ev.EventName(), Data: ev})
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		j.err = err
+	}
+}
+
+// Err reports the first write or encode error, if any — check it after
+// the run, the way a final Flush would be checked.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

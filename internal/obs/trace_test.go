@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestJSONLGoldenSchema pins the JSON-lines envelope and the field
+// names of every event type: offline analyzers parse this stream, so
+// changes must be append-only. A fixed injected clock makes the output
+// byte-for-byte deterministic.
+func TestJSONLGoldenSchema(t *testing.T) {
+	var b strings.Builder
+	j := NewJSONL(&b)
+	j.now = func() int64 { return 1700000000000000000 }
+
+	for _, ev := range []Event{
+		RunStart{Clients: 4, Iterations: 8, BatchSize: 2, Seed: 42},
+		PhaseStart{Phase: "meta-features"},
+		RoundStart{Kind: "metafeatures", Batch: 0, Clients: 4},
+		ClientCall{Kind: "metafeatures", Client: 1, Attempt: 1, LatencyNS: 1000, Bytes: 96, Outcome: "ok"},
+		ClientDropped{Kind: "metafeatures", Client: 3, Reason: "fl: client dead"},
+		RoundEnd{Kind: "metafeatures", Batch: 0, Survivors: 3, DurationNS: 5000},
+		PhaseEnd{Phase: "meta-features", DurationNS: 9000},
+		BOIteration{Index: 0, Config: "Lasso{alpha: 0.1}", Loss: 0.5},
+		ClientCache{Client: 1, Phase: "valid", Hit: false, BuildNS: 700},
+		CandidateEval{Client: 1, Index: 0, EvalNS: 300, Loss: 0.5},
+		ChaosInject{Client: 2, Fault: "transient"},
+		Note{Text: "phase I: collecting meta-features"},
+		RunEnd{DurationNS: 99, Iterations: 8, EvalRounds: 4, Err: "boom"},
+	} {
+		j.Record(ev)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	const golden = `{"ts":1700000000000000000,"event":"run_start","data":{"clients":4,"iterations":8,"batch_size":2,"seed":42}}
+{"ts":1700000000000000000,"event":"phase_start","data":{"phase":"meta-features"}}
+{"ts":1700000000000000000,"event":"round_start","data":{"kind":"metafeatures","batch":0,"clients":4}}
+{"ts":1700000000000000000,"event":"client_call","data":{"kind":"metafeatures","client":1,"attempt":1,"latency_ns":1000,"bytes":96,"outcome":"ok"}}
+{"ts":1700000000000000000,"event":"client_dropped","data":{"kind":"metafeatures","client":3,"reason":"fl: client dead"}}
+{"ts":1700000000000000000,"event":"round_end","data":{"kind":"metafeatures","batch":0,"survivors":3,"duration_ns":5000}}
+{"ts":1700000000000000000,"event":"phase_end","data":{"phase":"meta-features","duration_ns":9000}}
+{"ts":1700000000000000000,"event":"bo_iteration","data":{"index":0,"config":"Lasso{alpha: 0.1}","loss":0.5}}
+{"ts":1700000000000000000,"event":"client_cache","data":{"client":1,"phase":"valid","hit":false,"build_ns":700}}
+{"ts":1700000000000000000,"event":"candidate_eval","data":{"client":1,"index":0,"eval_ns":300,"loss":0.5}}
+{"ts":1700000000000000000,"event":"chaos_inject","data":{"client":2,"fault":"transient"}}
+{"ts":1700000000000000000,"event":"note","data":{"text":"phase I: collecting meta-features"}}
+{"ts":1700000000000000000,"event":"run_end","data":{"duration_ns":99,"iterations":8,"eval_rounds":4,"err":"boom"}}
+`
+	if got := b.String(); got != golden {
+		t.Errorf("JSONL output diverged from the golden schema.\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+// failWriter fails after n successful writes.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestJSONLRetainsFirstError(t *testing.T) {
+	j := NewJSONL(&failWriter{n: 1})
+	j.Record(Note{Text: "a"})
+	if err := j.Err(); err != nil {
+		t.Fatalf("first write should succeed, got %v", err)
+	}
+	j.Record(Note{Text: "b"})
+	err := j.Err()
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Err = %v, want the retained write error", err)
+	}
+	// Later events are dropped, the first error sticks.
+	j.Record(Note{Text: "c"})
+	if got := j.Err(); got != err {
+		t.Errorf("Err changed after failure: %v", got)
+	}
+}

@@ -1,27 +1,34 @@
 #!/usr/bin/env bash
-# bench.sh — run the engine round-protocol benchmark and emit its
-# numbers as BENCH_engine.json for tracking across commits.
+# bench.sh — run the engine benchmarks and emit their numbers as
+# BENCH_engine.json for tracking across commits.
 #
 # BenchmarkEngineRounds runs a full seeded engine run at batch sizes
 # 1/4/8 and reports, per q: wall-clock ns/op, evaluation rounds,
 # total federated rounds, and estimated payload bytes both ways
-# (Server.Stats). The JSON is a list of one object per q.
+# (Server.Stats). BenchmarkRecorderOverhead runs the same workload at
+# q=4 with telemetry off (nil recorder), with the Prometheus
+# aggregator attached, and with a metrics+JSONL fan-out, so the
+# telemetry tax stays visible next to the protocol numbers.
+#
+# The JSON is one object with two lists:
+#   {"engine_rounds": [...one object per q...],
+#    "recorder_overhead": [...one object per recorder mode...]}
 #
 # Usage:
 #   scripts/bench.sh               # writes BENCH_engine.json in the repo root
-#   BENCHTIME=5x scripts/bench.sh  # more samples per q
+#   BENCHTIME=5x scripts/bench.sh  # more samples per benchmark
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-1x}"
 out="BENCH_engine.json"
 
-echo "==> go test -bench=EngineRounds -benchtime=$benchtime ./internal/core/"
-raw="$(go test -bench=EngineRounds -benchtime="$benchtime" -run '^$' ./internal/core/)"
+echo "==> go test -bench='EngineRounds|RecorderOverhead' -benchtime=$benchtime ./internal/core/"
+raw="$(go test -bench='EngineRounds|RecorderOverhead' -benchtime="$benchtime" -run '^$' ./internal/core/)"
 echo "$raw"
 
 echo "$raw" | awk '
-BEGIN { print "["; n = 0 }
+BEGIN { nr = 0; no = 0 }
 /^BenchmarkEngineRounds\// {
     split($1, parts, "=")
     sub(/-[0-9]+$/, "", parts[2])   # strip the -GOMAXPROCS suffix
@@ -34,11 +41,29 @@ BEGIN { print "["; n = 0 }
         if ($(i+1) == "bytesdown")  bytesdown = $i
         if ($(i+1) == "bytesup")    bytesup = $i
     }
-    if (n++) printf ",\n"
-    printf "  {\"q\": %s, \"ns_per_op\": %s, \"eval_rounds\": %s, \"rounds\": %s, \"bytes_down\": %s, \"bytes_up\": %s}", \
-        q, nsop, evalrounds, rounds, bytesdown, bytesup
+    rows[nr++] = sprintf("    {\"q\": %s, \"ns_per_op\": %s, \"eval_rounds\": %s, \"rounds\": %s, \"bytes_down\": %s, \"bytes_up\": %s}", \
+        q, nsop, evalrounds, rounds, bytesdown, bytesup)
 }
-END { print "\n]" }
+/^BenchmarkRecorderOverhead\// {
+    split($1, parts, "/")
+    sub(/-[0-9]+$/, "", parts[2])   # strip the -GOMAXPROCS suffix
+    mode = parts[2]
+    nsop = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") nsop = $i
+    }
+    orows[no++] = sprintf("    {\"recorder\": \"%s\", \"ns_per_op\": %s}", mode, nsop)
+}
+END {
+    print "{"
+    print "  \"engine_rounds\": ["
+    for (i = 0; i < nr; i++) printf "%s%s\n", rows[i], (i < nr-1 ? "," : "")
+    print "  ],"
+    print "  \"recorder_overhead\": ["
+    for (i = 0; i < no; i++) printf "%s%s\n", orows[i], (i < no-1 ? "," : "")
+    print "  ]"
+    print "}"
+}
 ' > "$out"
 
 echo "==> wrote $out"

@@ -31,6 +31,9 @@ if [[ -n "$unformatted" ]]; then
     exit 1
 fi
 
+echo "==> fedlint ./internal/obs (telemetry: no stray wall-clock reads)"
+go run ./cmd/fedlint ./internal/obs
+
 echo "==> fedlint ./..."
 go run ./cmd/fedlint ./...
 
