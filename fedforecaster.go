@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"fedforecaster/internal/core"
+	"fedforecaster/internal/fl"
 	"fedforecaster/internal/metafeat"
 	"fedforecaster/internal/metalearn"
 	"fedforecaster/internal/obs"
@@ -110,6 +111,12 @@ type Options struct {
 	// q > 1 trades per-round compute for ~q× fewer evaluation rounds
 	// via constant-liar q-EI proposals.
 	BatchSize int
+	// Wire selects the wire format in the -wire flag syntax: "" or
+	// "gob" for the legacy gob-era path, or "v1" with optional
+	// "+q8"/"+q16" (int8/float16 payload quantization) and "+z"
+	// (dictionary DEFLATE) tiers — e.g. "v1+q8+z". Invalid strings make
+	// Run fail fast.
+	Wire string
 	// Trace receives phase events when non-nil (a human-readable
 	// rendering of the typed event stream; see Recorder).
 	Trace func(string)
@@ -124,8 +131,15 @@ type Options struct {
 // event taxonomy and the Metrics / JSONL / Serve sinks).
 type Recorder = obs.Recorder
 
-func (o Options) engineConfig() core.EngineConfig {
+func (o Options) engineConfig() (core.EngineConfig, error) {
 	cfg := core.DefaultEngineConfig()
+	if o.Wire != "" {
+		w, err := fl.ParseWireOpts(o.Wire)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Wire = w
+	}
 	if o.Iterations > 0 {
 		cfg.Iterations = o.Iterations
 	}
@@ -151,13 +165,17 @@ func (o Options) engineConfig() core.EngineConfig {
 	}
 	cfg.Trace = o.Trace
 	cfg.Recorder = o.Recorder
-	return cfg
+	return cfg, nil
 }
 
 // Run executes the full FedForecaster pipeline (Algorithm 1) over the
 // client splits and returns the best configuration with its test MSE.
 func Run(clients []*Series, opts Options) (*Result, error) {
-	engine := core.NewEngine(opts.Meta, opts.engineConfig())
+	cfg, err := opts.engineConfig()
+	if err != nil {
+		return nil, err
+	}
+	engine := core.NewEngine(opts.Meta, cfg)
 	return engine.Run(clients)
 }
 
@@ -178,7 +196,10 @@ func Deploy(clients []*Series, result *Result, seed int64) (*Deployment, error) 
 // RunRandomSearch executes the paper's federated random-search
 // baseline with the same budget semantics.
 func RunRandomSearch(clients []*Series, opts Options) (*Result, error) {
-	cfg := opts.engineConfig()
+	cfg, err := opts.engineConfig()
+	if err != nil {
+		return nil, err
+	}
 	return core.RunRandomSearch(clients, core.RandomSearchConfig{
 		Iterations: cfg.Iterations,
 		TimeBudget: cfg.TimeBudget,

@@ -96,16 +96,31 @@ func TestAlgorithmAndMetaModelLists(t *testing.T) {
 }
 
 func TestOptionsDefaults(t *testing.T) {
-	cfg := Options{}.engineConfig()
+	cfg, err := Options{}.engineConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if cfg.Iterations != 24 || cfg.TopK != 3 || !cfg.FeatureSelection {
 		t.Errorf("defaults = %+v", cfg)
 	}
-	custom := Options{Iterations: 5, TopK: 2, ValidFrac: 0.2, TestFrac: 0.1, DisableFeatureSelection: true}.engineConfig()
+	if cfg.Wire.Version != 0 {
+		t.Errorf("default wire = %v, want gob (v0)", cfg.Wire)
+	}
+	custom, err := Options{Iterations: 5, TopK: 2, ValidFrac: 0.2, TestFrac: 0.1, DisableFeatureSelection: true, Wire: "v1+q8+z"}.engineConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if custom.Iterations != 5 || custom.TopK != 2 || custom.FeatureSelection {
 		t.Errorf("custom = %+v", custom)
 	}
 	if custom.Splits.ValidFrac != 0.2 || custom.Splits.TestFrac != 0.1 {
 		t.Errorf("splits = %+v", custom.Splits)
+	}
+	if got := custom.Wire.String(); got != "v1+q8+z" {
+		t.Errorf("custom wire = %q, want v1+q8+z", got)
+	}
+	if _, err := (Options{Wire: "v2"}).engineConfig(); err == nil {
+		t.Error("invalid wire string accepted")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"io"
 	"testing"
 
+	"fedforecaster/internal/fl"
 	"fedforecaster/internal/obs"
 )
 
@@ -20,6 +21,44 @@ func BenchmarkEngineRounds(b *testing.B) {
 			cfg := smallEngineConfig(42)
 			cfg.Iterations = 8
 			cfg.BatchSize = q
+			b.ResetTimer()
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				eng := NewEngine(nil, cfg)
+				r, err := eng.Run(clients)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+			}
+			b.ReportMetric(float64(res.EvalRounds), "evalrounds")
+			b.ReportMetric(float64(res.Comms.Rounds), "rounds")
+			b.ReportMetric(float64(res.Comms.BytesDown), "bytesdown")
+			b.ReportMetric(float64(res.Comms.BytesUp), "bytesup")
+		})
+	}
+}
+
+// BenchmarkEngineWire is the wire-format dimension of the engine
+// benchmark: the same q=8 workload as BenchmarkEngineRounds, run over
+// every wire tier the transports negotiate — gob (v0 baseline),
+// lossless binary v1 (plain and flate-compressed), and the quantized
+// tiers. Byte metrics are estimated payload size for gob and exact
+// encoded frame length for v1, so the rows are directly comparable to
+// the accounting in Result.Comms. scripts/bench.sh parses this output
+// into BENCH_engine.json's wire_formats section.
+func BenchmarkEngineWire(b *testing.B) {
+	for _, ws := range []string{"gob", "v1", "v1+z", "v1+q8", "v1+q8+z", "v1+q16+z"} {
+		b.Run("wire="+ws, func(b *testing.B) {
+			w, err := fl.ParseWireOpts(ws)
+			if err != nil {
+				b.Fatal(err)
+			}
+			clients := fedDataset(b, 1600, 4, 11)
+			cfg := smallEngineConfig(42)
+			cfg.Iterations = 8
+			cfg.BatchSize = 8
+			cfg.Wire = w
 			b.ResetTimer()
 			var res *Result
 			for i := 0; i < b.N; i++ {

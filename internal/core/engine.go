@@ -68,6 +68,14 @@ type EngineConfig struct {
 	// call (transient faults are retried with exponential backoff +
 	// jitter; dead clients fail fast).
 	MaxRetries int
+	// Wire selects the wire format Run's in-process transport speaks
+	// (see fl.ParseWireOpts for the flag syntax). The zero value is the
+	// legacy v0 path — normalization-only message passing with
+	// PayloadSize accounting — which keeps pre-codec results
+	// bit-identical. Version 1 round-trips every message through the
+	// binary codec, so Result.Comms reports exact frame bytes and any
+	// configured quantization tier is really applied to the payloads.
+	Wire fl.WireOpts
 	// MinClientFraction ∈ (0, 1] enables partial participation: a round
 	// succeeds when at least ⌈fraction·N⌉ clients respond, and every
 	// aggregation (meta-features, importances, Equation 1 losses) runs
@@ -177,7 +185,7 @@ func (e *Engine) Run(clients []*timeseries.Series) (*Result, error) {
 		}
 		nodes[i] = node
 	}
-	srv := fl.NewServer(fl.NewInProc(nodes))
+	srv := fl.NewServer(fl.NewInProcWire(nodes, e.Cfg.Wire))
 	defer srv.Close()
 	return e.RunWithServer(srv)
 }

@@ -70,7 +70,7 @@ func TestClientNodeSkipsTinySplit(t *testing.T) {
 	req.Ints["lags"] = []int{1, 2, 3}
 	req.Ints["flags"] = []int{0}
 	req.Strings["algorithm"] = search.AlgoLasso
-	req.Floats["v:alpha"] = []float64{0.01}
+	req.Scalars["v:alpha"] = 0.01
 	req.Strings["c:selection"] = "cyclic"
 	req.Scalars["valid_frac"] = 0.15
 	req.Scalars["test_frac"] = 0.15

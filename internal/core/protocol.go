@@ -45,11 +45,12 @@ const (
 )
 
 // encodeConfig serializes a search.Config into a message. Numeric
-// hyper-parameters get the "v:" key prefix, categorical ones "c:".
+// hyper-parameters are scalars with the "v:" key prefix, categorical
+// ones strings with "c:".
 func encodeConfig(msg *fl.Message, cfg search.Config) {
 	msg.Strings["algorithm"] = cfg.Algorithm
 	for k, v := range cfg.Values {
-		msg.Floats["v:"+k] = []float64{v}
+		msg.Scalars["v:"+k] = v
 	}
 	for k, v := range cfg.Cats {
 		msg.Strings["c:"+k] = v
@@ -63,9 +64,9 @@ func decodeConfig(msg fl.Message) search.Config {
 		Values:    map[string]float64{},
 		Cats:      map[string]string{},
 	}
-	for k, v := range msg.Floats {
-		if strings.HasPrefix(k, "v:") && len(v) == 1 {
-			cfg.Values[k[2:]] = v[0]
+	for k, v := range msg.Scalars {
+		if strings.HasPrefix(k, "v:") {
+			cfg.Values[k[2:]] = v
 		}
 	}
 	for k, v := range msg.Strings {
@@ -141,7 +142,7 @@ func encodeConfigAt(msg *fl.Message, cfg search.Config, i int) {
 	p := strconv.Itoa(i) + ":"
 	msg.Strings[p+"algorithm"] = cfg.Algorithm
 	for k, v := range cfg.Values {
-		msg.Floats[p+"v:"+k] = []float64{v}
+		msg.Scalars[p+"v:"+k] = v
 	}
 	for k, v := range cfg.Cats {
 		msg.Strings[p+"c:"+k] = v
@@ -157,9 +158,9 @@ func decodeConfigAt(msg fl.Message, i int) search.Config {
 		Cats:      map[string]string{},
 	}
 	vp, cp := p+"v:", p+"c:"
-	for k, v := range msg.Floats {
-		if strings.HasPrefix(k, vp) && len(v) == 1 {
-			cfg.Values[k[len(vp):]] = v[0]
+	for k, v := range msg.Scalars {
+		if strings.HasPrefix(k, vp) {
+			cfg.Values[k[len(vp):]] = v
 		}
 	}
 	for k, v := range msg.Strings {

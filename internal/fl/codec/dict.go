@@ -1,0 +1,77 @@
+package codec
+
+import "strings"
+
+// vocab is the protocol vocabulary shared by the two v1 compaction
+// mechanisms:
+//
+//   - the string intern table: any string (kind, payload key, or string
+//     value) that appears here verbatim is encoded as a 2-byte table
+//     reference instead of its raw bytes — the codec-level
+//     generalization of the round protocol's ship-once trick: instead
+//     of shipping the schema once per connection, the schema strings
+//     ship zero times, because both ends compiled them in;
+//   - the preset DEFLATE dictionary: LZ77 back-references reach up to
+//     32 KiB behind the cursor and a preset dictionary is prepended to
+//     that window, so raw strings the protocol repeats still compress
+//     even in small frames. Entries are ordered least-frequent-first so
+//     the most common strings sit nearest the cursor, where
+//     back-reference distances (and their Huffman codes) are shortest.
+//
+// The table is part of wire format v1: both ends derive the indices
+// and the dictionary from this list, so any edit — adding, removing,
+// or reordering an entry — is a wire-format change and must bump the
+// version byte. The golden fixtures under testdata/ pin the current
+// assignment. The list must stay under 128 entries so every reference
+// fits in a single uvarint byte.
+var vocab = []string{
+	// Rare: engine/protocol bookkeeping keys.
+	"fingerprint", "need_prepare", "batch", "skipped", "cached", "keep",
+	// Search-space categorical values and hyper-parameter names.
+	"cyclic", "random", "1.35", "1.5", "1.0",
+	"selection", "epsilon", "l1_ratio", "n_estimators", "max_depth",
+	"learning_rate", "reg_lambda", "subsample", "quantile", "alpha", "C",
+	// Hyper-parameter keys as encodeConfig ships them ("v:" numeric,
+	// "c:" categorical); batched rounds reuse the same stems behind an
+	// index prefix ("3:v:alpha"), which the prefix string form factors
+	// out.
+	"v:alpha", "v:C", "v:epsilon", "v:l1_ratio", "v:n_estimators",
+	"v:max_depth", "v:learning_rate", "v:reg_lambda", "v:subsample",
+	"v:quantile", "c:selection", "c:epsilon",
+	// Algorithm names shipped inside every evaluation config.
+	"QuantileRegressor", "HuberRegressor", "XGBRegressor",
+	"ElasticNetCV", "LinearSVR", "Lasso",
+	// Metafeature keys (one props/metafeatures message per client).
+	"num_instances", "missing_pct", "kurtosis", "skewness", "fractal",
+	"stationary_d1", "stationary_d2", "stationary",
+	"seasonal_count", "season_strengths", "season_periods",
+	"siglag_count", "insiggap_count", "sig_lags",
+	"hist_lo", "hist_hi", "histogram", "importances", "weights",
+	"valid_frac", "test_frac", "exog", "lags", "rate",
+	// Message kinds: every frame starts with one of these.
+	"props/range", "props/metafeatures", "props/importances",
+	"eval/prepare", "eval/prepare/done",
+	"eval/config", "eval/config/done",
+	"fit/final", "fit/final/done",
+	// Hottest payload keys: per-config and per-client entries repeated
+	// many times per round.
+	"algorithm", "flags", "size", "rows",
+	"losses", "loss", "lo", "hi", "id",
+}
+
+var (
+	dict = []byte(strings.Join(vocab, "|"))
+	// vocabIndex maps each vocab entry to its table index for the
+	// encoder's exact-match lookup.
+	vocabIndex = func() map[string]int {
+		idx := make(map[string]int, len(vocab))
+		for i, s := range vocab {
+			idx[s] = i
+		}
+		return idx
+	}()
+)
+
+// Dict returns the preset dictionary both the encoder and decoder
+// hand to compress/flate. Callers must not mutate the returned slice.
+func Dict() []byte { return dict }

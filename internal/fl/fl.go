@@ -16,76 +16,20 @@ import (
 	"strings"
 	"sync"
 
+	"fedforecaster/internal/fl/codec"
 	"fedforecaster/internal/obs"
 )
 
 // Message is the unit of client↔server communication: a kind tag plus
-// typed payload maps. It is deliberately schema-free (like Flower's
-// config/metrics dictionaries) so protocol phases can evolve without
-// transport changes.
-type Message struct {
-	Kind    string
-	Scalars map[string]float64
-	Floats  map[string][]float64
-	Strings map[string]string
-	Ints    map[string][]int
-}
+// typed payload maps. It is an alias of codec.Message — the payload
+// type lives in the wire-format package so both the transports here
+// and the codec can name it without an import cycle. See the codec
+// package for the type's methods (Normalize, PayloadSize) and its
+// binary encoding.
+type Message = codec.Message
 
 // NewMessage returns an empty message of the given kind.
-func NewMessage(kind string) Message {
-	return Message{
-		Kind:    kind,
-		Scalars: map[string]float64{},
-		Floats:  map[string][]float64{},
-		Strings: map[string]string{},
-		Ints:    map[string][]int{},
-	}
-}
-
-// Normalize replaces nil payload maps with empty ones — the canonical
-// form NewMessage produces. Messages built as struct literals carry
-// nil maps, and gob omits nil maps on the wire, so without a shared
-// normalization point the two transports could hand handlers different
-// shapes for the same logical message (nil over TCP, whatever the
-// sender built in-process). Both transports normalize every message on
-// receipt, so handlers may index payload maps unconditionally.
-func (m *Message) Normalize() {
-	if m.Scalars == nil {
-		m.Scalars = map[string]float64{}
-	}
-	if m.Floats == nil {
-		m.Floats = map[string][]float64{}
-	}
-	if m.Strings == nil {
-		m.Strings = map[string]string{}
-	}
-	if m.Ints == nil {
-		m.Ints = map[string][]int{}
-	}
-}
-
-// PayloadSize estimates the message's serialized payload in bytes:
-// key and string lengths plus 8 bytes per float64 and per int. It is a
-// transport-independent estimate (gob framing adds type metadata, the
-// in-process transport ships pointers) used for communication
-// accounting, so the batching win of protocol v2 is measurable rather
-// than asserted.
-func (m Message) PayloadSize() int64 {
-	n := int64(len(m.Kind))
-	for k := range m.Scalars {
-		n += int64(len(k)) + 8
-	}
-	for k, v := range m.Floats {
-		n += int64(len(k)) + 8*int64(len(v))
-	}
-	for k, v := range m.Strings {
-		n += int64(len(k)) + int64(len(v))
-	}
-	for k, v := range m.Ints {
-		n += int64(len(k)) + 8*int64(len(v))
-	}
-	return n
-}
+func NewMessage(kind string) Message { return codec.NewMessage(kind) }
 
 // Client is the behaviour a federated participant implements
 // (Algorithm 1's client side).
@@ -125,8 +69,10 @@ type Transport interface {
 }
 
 // Stats is a server's cumulative communication accounting. Byte
-// counts are PayloadSize estimates of the request/response payload
-// maps. Useful communication (Calls / BytesDown / BytesUp) bills only
+// counts follow the transport's wire format (see WireTransport): the
+// exact encoded frame length for wire version ≥ 1, the PayloadSize
+// estimate for v0 and for transports that do not report their format.
+// Useful communication (Calls / BytesDown / BytesUp) bills only
 // successful logical calls; wire waste — request payloads shipped on
 // attempts that failed and had to be retried or dropped — is tracked
 // separately in WastedCalls / WastedBytes by the quorum retry layer.
@@ -166,6 +112,9 @@ func (s Stats) Sub(base Stats) Stats {
 // Server drives federated rounds over a transport.
 type Server struct {
 	transport Transport
+	// wire is the transport's wire format, snapshotted at construction;
+	// accounting sizes every message under it (see WireOpts.Size).
+	wire WireOpts
 
 	// statsMu guards stats and rec: rounds may (in principle) be driven
 	// concurrently, and accounting must never race them.
@@ -174,8 +123,19 @@ type Server struct {
 	rec     obs.Recorder
 }
 
-// NewServer returns a server bound to the transport.
-func NewServer(t Transport) *Server { return &Server{transport: t} }
+// NewServer returns a server bound to the transport. If the transport
+// reports its wire format (WireTransport), byte accounting follows it;
+// otherwise messages are billed as v0 PayloadSize estimates.
+func NewServer(t Transport) *Server {
+	s := &Server{transport: t}
+	if wt, ok := t.(WireTransport); ok {
+		s.wire = wt.Wire()
+	}
+	return s
+}
+
+// size bills one message under the transport's wire format.
+func (s *Server) size(m Message) int64 { return s.wire.Size(m) }
 
 // SetRecorder installs (or, with nil, removes) the telemetry recorder
 // the server's quorum layer emits per-attempt ClientCall events to.
@@ -235,7 +195,7 @@ func (s *Server) Stats() Stats {
 // successful response, each response upstream. Called once per round
 // after its barrier, from a single goroutine.
 func (s *Server) account(round bool, req Message, resps []Message) {
-	down := req.PayloadSize()
+	down := s.size(req)
 	s.statsMu.Lock()
 	defer s.statsMu.Unlock()
 	if round {
@@ -244,7 +204,7 @@ func (s *Server) account(round bool, req Message, resps []Message) {
 	for _, r := range resps {
 		s.stats.Calls++
 		s.stats.BytesDown += down
-		s.stats.BytesUp += r.PayloadSize()
+		s.stats.BytesUp += s.size(r)
 	}
 }
 

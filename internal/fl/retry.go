@@ -236,13 +236,13 @@ func (s *Server) CallSubsetQuorum(clients []int, req Message, q QuorumConfig) ([
 	// concurrent per-client goroutines; accountWaste locks internally
 	// and Recorders are concurrent-safe by contract.
 	rec := s.recorder()
-	reqBytes := req.PayloadSize()
+	reqBytes := s.size(req)
 	hook := func(client, attempt int, latencyNS int64, resp Message, err error) {
 		bytes := reqBytes
 		if err != nil {
 			s.accountWaste(1, reqBytes)
 		} else {
-			bytes += resp.PayloadSize()
+			bytes += s.size(resp)
 		}
 		if rec != nil {
 			rec.Record(obs.ClientCall{

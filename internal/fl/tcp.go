@@ -1,21 +1,39 @@
 package fl
 
 import (
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
+
+	"fedforecaster/internal/fl/codec"
 )
 
 // TCPTransport is the distributed deployment path: clients dial the
-// server (as in Flower) and serve requests over a gob-encoded stream.
+// server (as in Flower) and serve requests over the negotiated wire
+// format.
+//
+// Version negotiation is one byte each way at connection setup: the
+// client sends the highest wire version it can speak, the server
+// replies with min(its configured version, the proposal), and both
+// ends then speak the chosen version for the connection's lifetime.
+// Version 0 is a gob stream of envelopes (the original format, so a
+// v0-configured fleet is byte-compatible with pre-codec peers modulo
+// the two-byte handshake); version 1 is length-prefixed codec frames.
+// Quantization and compression are encoder-side tiers, not negotiated:
+// each end encodes under its own WireOpts and any v1 decoder reads any
+// tier.
 //
 // The connection table is guarded by mu: Call, NumClients, Close and
 // SetCallTimeout may run concurrently (quorum broadcasts race with
 // shutdown), so every access to conns/callTimeout takes the lock.
 type TCPTransport struct {
 	listener net.Listener
+	wire     WireOpts
 	mu       sync.Mutex
 	conns    []*tcpConn
 	// callTimeout, when > 0, bounds each Call via net.Conn.SetDeadline
@@ -26,13 +44,21 @@ type TCPTransport struct {
 
 type tcpConn struct {
 	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	mu   sync.Mutex
-	// dead marks a connection whose gob stream failed. A gob stream is
-	// unframed: after any mid-message error (timeout, reset) the decoder
-	// state is unrecoverable, so the connection is closed and every
-	// later call fails fast with ErrClientDead.
+	// vers is the wire version negotiated for this connection, or −1
+	// before negotiation. The server side negotiates lazily, on the
+	// first Call: the handshake read is then bounded by the per-call
+	// deadline, so a client that connects but never speaks (hung peer)
+	// is accepted at listen time and trips ErrCallTimeout at call time —
+	// the same observable behaviour as the pre-negotiation protocol.
+	vers int
+	// enc/dec are the gob pair, populated only when vers == 0.
+	enc *gob.Encoder
+	dec *gob.Decoder
+	mu  sync.Mutex
+	// dead marks a connection whose stream failed. Neither format is
+	// mid-message recoverable (a gob stream is unframed; a torn codec
+	// frame desynchronizes the length prefixes), so the connection is
+	// closed and every later call fails fast with ErrClientDead.
 	dead bool
 }
 
@@ -44,23 +70,67 @@ func (c *tcpConn) markDeadLocked() {
 	c.conn.Close()
 }
 
-// envelope frames a message with an error string for the return path.
+// envelope frames a message with an error string for the v0 (gob)
+// return path.
 type envelope struct {
 	Msg Message
 	Err string
 }
 
+// maxFrame bounds a v1 frame read so a corrupt or hostile length
+// prefix cannot induce an arbitrarily large allocation.
+const maxFrame = 64 << 20
+
+// v1 response status bytes.
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// writeFrame sends one length-prefixed v1 frame as a single write.
+func writeFrame(conn net.Conn, payload []byte) error {
+	buf := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err := conn.Write(buf)
+	return err
+}
+
+// readFrame receives one length-prefixed v1 frame.
+func readFrame(conn net.Conn) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("fl: frame length %d exceeds %d", n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
 // ListenTCP starts a server transport that accepts exactly
 // expectClients connections on addr (use "127.0.0.1:0" for an
-// ephemeral port) within the timeout.
+// ephemeral port) within the timeout, speaking wire v0 (gob).
 func ListenTCP(addr string, expectClients int, timeout time.Duration) (*TCPTransport, error) {
-	return ListenTCPWithAddr(addr, expectClients, timeout, nil)
+	return ListenTCPWire(addr, expectClients, timeout, nil, WireOpts{})
 }
 
 // ListenTCPWithAddr is ListenTCP but reports the bound address on
 // addrCh before blocking for connections — needed when clients in the
 // same process must learn an ephemeral port.
 func ListenTCPWithAddr(addr string, expectClients int, timeout time.Duration, addrCh chan<- string) (*TCPTransport, error) {
+	return ListenTCPWire(addr, expectClients, timeout, addrCh, WireOpts{})
+}
+
+// ListenTCPWire is ListenTCPWithAddr with an explicit wire format: the
+// server negotiates each connection down to at most wire.Version and
+// encodes its requests under the given tiers.
+func ListenTCPWire(addr string, expectClients int, timeout time.Duration, addrCh chan<- string, wire WireOpts) (*TCPTransport, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("fl: listen: %w", err)
@@ -68,7 +138,7 @@ func ListenTCPWithAddr(addr string, expectClients int, timeout time.Duration, ad
 	if addrCh != nil {
 		addrCh <- ln.Addr().String()
 	}
-	t := &TCPTransport{listener: ln}
+	t := &TCPTransport{listener: ln, wire: wire}
 	deadline := time.Now().Add(timeout)
 	for len(t.conns) < expectClients {
 		if dl, ok := ln.(*net.TCPListener); ok {
@@ -84,17 +154,71 @@ func ListenTCPWithAddr(addr string, expectClients int, timeout time.Duration, ad
 			ln.Close()
 			return nil, fmt.Errorf("fl: accept (have %d/%d clients): %w", len(t.conns), expectClients, err)
 		}
-		t.conns = append(t.conns, &tcpConn{
-			conn: conn,
-			enc:  gob.NewEncoder(conn),
-			dec:  gob.NewDecoder(conn),
-		})
+		t.conns = append(t.conns, &tcpConn{conn: conn, vers: -1})
 	}
 	return t, nil
 }
 
+// negotiateLocked performs the server side of the version handshake on
+// first use: read the client's proposal byte, reply min(configured,
+// proposal), and set up the connection for the chosen version. Callers
+// hold c.mu and have already bounded the connection with the per-call
+// deadline.
+func (c *tcpConn) negotiateLocked(configured int) error {
+	var b [1]byte
+	if _, err := io.ReadFull(c.conn, b[:]); err != nil {
+		return fmt.Errorf("read proposal: %w", err)
+	}
+	vers := configured
+	if p := int(b[0]); p < vers {
+		vers = p
+	}
+	if _, err := c.conn.Write([]byte{byte(vers)}); err != nil {
+		return fmt.Errorf("write version: %w", err)
+	}
+	c.vers = vers
+	if vers == 0 {
+		c.enc = gob.NewEncoder(c.conn)
+		c.dec = gob.NewDecoder(c.conn)
+	}
+	return nil
+}
+
+// errHandshakeClosed marks a version handshake cut short by the
+// connection closing — a clean shutdown, not a protocol violation.
+var errHandshakeClosed = errors.New("fl: connection closed during handshake")
+
+// negotiateClient performs the client side: propose a version, accept
+// the server's (lower or equal) choice. The server answers lazily, on
+// its first call, so the read blocks until the server speaks; a
+// connection that closes instead reports errHandshakeClosed.
+func negotiateClient(conn net.Conn, proposal int) (int, error) {
+	if _, err := conn.Write([]byte{byte(proposal)}); err != nil {
+		return 0, fmt.Errorf("%w: %v", errHandshakeClosed, err)
+	}
+	var b [1]byte
+	if _, err := io.ReadFull(conn, b[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", errHandshakeClosed, err)
+	}
+	vers := int(b[0])
+	if vers > proposal {
+		return 0, fmt.Errorf("fl: server chose wire version %d above proposal %d", vers, proposal)
+	}
+	return vers, nil
+}
+
 // Addr returns the listener address (useful with ephemeral ports).
 func (t *TCPTransport) Addr() string { return t.listener.Addr().String() }
+
+// Wire reports the transport's configured wire format — the options
+// the Server bills under. Billing is a per-fleet cost model, not an
+// octet count: a connection whose peer negotiated down to v0 still
+// ships gob frames but is billed at the configured tier, just as v0
+// itself bills the PayloadSize estimate rather than gob's actual
+// stream bytes. Mixed-version fleets therefore see configured-tier
+// accounting; uniform fleets (every engine and CLI path) see exact
+// frame lengths under v1.
+func (t *TCPTransport) Wire() WireOpts { return t.wire }
 
 // SetCallTimeout installs a per-call deadline (0 disables). Safe to
 // call concurrently with in-flight rounds; it applies from the next
@@ -126,6 +250,7 @@ func (t *TCPTransport) Call(i int, req Message) (Message, error) {
 	}
 	c := t.conns[i]
 	timeout := t.callTimeout
+	wire := t.wire
 	t.mu.Unlock()
 
 	c.mu.Lock()
@@ -141,6 +266,25 @@ func (t *TCPTransport) Call(i int, req Message) (Message, error) {
 		c.markDeadLocked()
 		return Message{}, fmt.Errorf("fl: client %d: set deadline: %v: %w", i, err, ErrClientDead)
 	}
+	if c.vers < 0 {
+		if err := c.negotiateLocked(wire.Version); err != nil {
+			c.markDeadLocked()
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				return Message{}, fmt.Errorf("fl: negotiate with client %d: %v (%w): %w", i, err, ErrCallTimeout, ErrClientDead)
+			}
+			return Message{}, fmt.Errorf("fl: negotiate with client %d: %v: %w", i, err, ErrClientDead)
+		}
+	}
+	if c.vers >= codec.Version1 {
+		return t.callV1(i, c, req, wire)
+	}
+	return t.callGob(i, c, req)
+}
+
+// callGob performs one call over a v0 (gob envelope) connection;
+// callers hold c.mu.
+func (t *TCPTransport) callGob(i int, c *tcpConn, req Message) (Message, error) {
 	if err := c.enc.Encode(envelope{Msg: req}); err != nil {
 		c.markDeadLocked()
 		return Message{}, fmt.Errorf("fl: send to client %d: %v: %w", i, err, ErrClientDead)
@@ -165,6 +309,44 @@ func (t *TCPTransport) Call(i int, req Message) (Message, error) {
 	return resp.Msg, nil
 }
 
+// callV1 performs one call over a v1 (codec frame) connection; callers
+// hold c.mu. The response frame is a status byte followed by either a
+// codec frame (statusOK) or an error string (statusErr — an
+// application-level error: the stream stays in sync and the call is
+// retryable).
+func (t *TCPTransport) callV1(i int, c *tcpConn, req Message, wire WireOpts) (Message, error) {
+	if err := writeFrame(c.conn, codec.Encode(req, wire.codecOptions())); err != nil {
+		c.markDeadLocked()
+		return Message{}, fmt.Errorf("fl: send to client %d: %v: %w", i, err, ErrClientDead)
+	}
+	payload, err := readFrame(c.conn)
+	if err != nil {
+		c.markDeadLocked()
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return Message{}, fmt.Errorf("fl: receive from client %d: %v (%w): %w", i, err, ErrCallTimeout, ErrClientDead)
+		}
+		return Message{}, fmt.Errorf("fl: receive from client %d: %v: %w", i, err, ErrClientDead)
+	}
+	if len(payload) < 1 {
+		c.markDeadLocked()
+		return Message{}, fmt.Errorf("fl: client %d: empty response frame: %w", i, ErrClientDead)
+	}
+	switch payload[0] {
+	case statusErr:
+		return Message{}, fmt.Errorf("fl: client %d error: %s", i, payload[1:])
+	case statusOK:
+		msg, err := codec.Decode(payload[1:])
+		if err != nil {
+			c.markDeadLocked()
+			return Message{}, fmt.Errorf("fl: decode from client %d: %v: %w", i, err, ErrClientDead)
+		}
+		return msg, nil
+	default:
+		c.markDeadLocked()
+		return Message{}, fmt.Errorf("fl: client %d: unknown response status %d: %w", i, payload[0], ErrClientDead)
+	}
+}
+
 // Close terminates all client connections and the listener.
 func (t *TCPTransport) Close() error {
 	t.mu.Lock()
@@ -180,9 +362,19 @@ func (t *TCPTransport) Close() error {
 }
 
 // ServeTCP connects a client to the server at addr and serves requests
-// until the connection closes or stop is closed. It returns nil on a
-// clean shutdown (server closed the connection).
+// until the connection closes or stop is closed, proposing the newest
+// wire version this build speaks (the server may negotiate down to
+// gob) and encoding responses losslessly. It returns nil on a clean
+// shutdown (server closed the connection).
 func ServeTCP(addr string, client Client, stop <-chan struct{}) error {
+	return ServeTCPWire(addr, client, stop, WireOpts{Version: codec.MaxVersion})
+}
+
+// ServeTCPWire is ServeTCP with an explicit wire format: the client
+// proposes wire.Version (so a v0 value forces gob even against a v1
+// server) and, when the negotiated version is ≥ 1, encodes its
+// responses under the given quantization/compression tiers.
+func ServeTCPWire(addr string, client Client, stop <-chan struct{}, wire WireOpts) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("fl: dial: %w", err)
@@ -195,6 +387,21 @@ func ServeTCP(addr string, client Client, stop <-chan struct{}) error {
 			conn.Close()
 		}()
 	}
+	vers, err := negotiateClient(conn, wire.Version)
+	if err != nil {
+		if errors.Is(err, errHandshakeClosed) {
+			return nil // server closed before speaking: clean shutdown
+		}
+		return err
+	}
+	if vers >= codec.Version1 {
+		return serveV1(conn, client, wire)
+	}
+	return serveGob(conn, client)
+}
+
+// serveGob answers requests over a v0 (gob envelope) stream.
+func serveGob(conn net.Conn, client Client) error {
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
 	for {
@@ -213,6 +420,32 @@ func ServeTCP(addr string, client Client, stop <-chan struct{}) error {
 			env.Err = derr.Error()
 		}
 		if err := enc.Encode(env); err != nil {
+			return fmt.Errorf("fl: reply: %w", err)
+		}
+	}
+}
+
+// serveV1 answers requests over a v1 (codec frame) stream, encoding
+// responses under the client's own wire tiers.
+func serveV1(conn net.Conn, client Client, wire WireOpts) error {
+	opts := wire.codecOptions()
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return nil // connection closed: clean shutdown
+		}
+		req, err := codec.Decode(frame)
+		if err != nil {
+			return fmt.Errorf("fl: decode request: %w", err)
+		}
+		resp, derr := Dispatch(client, req)
+		var payload []byte
+		if derr != nil {
+			payload = append([]byte{statusErr}, derr.Error()...)
+		} else {
+			payload = codec.AppendEncode([]byte{statusOK}, resp, opts)
+		}
+		if err := writeFrame(conn, payload); err != nil {
 			return fmt.Errorf("fl: reply: %w", err)
 		}
 	}

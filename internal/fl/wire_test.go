@@ -1,0 +1,353 @@
+package fl
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"fedforecaster/internal/fl/codec"
+)
+
+// mirrorClient echoes every request's payload back unchanged, so a
+// call observes two wire crossings (request and response) of the same
+// message.
+type mirrorClient struct{}
+
+func (mirrorClient) Properties(req Message) (Message, error) { return req, nil }
+func (mirrorClient) Fit(req Message) (Message, error)        { return req, nil }
+func (mirrorClient) Evaluate(req Message) (Message, error)   { return req, nil }
+
+// wireFixtures are the matrix test messages. Float vectors are either
+// shorter than the quantization floor (shipped dense) or long, finite
+// and within binary16 range (always eligible for both lossy tiers),
+// so expected behaviour per tier is unambiguous.
+func wireFixtures() []Message {
+	plain := Message{} // zero value: nil maps everywhere
+
+	props := NewMessage("props/metafeatures")
+	props.Scalars["rate"] = 2
+	props.Scalars["skewness"] = -0.75
+	props.Strings["name"] = "client-0"
+	props.Ints["sig_lags"] = []int{1, 7, 14}
+	props.Floats["season_strengths"] = []float64{0.25, 0.5} // short: dense (values binary16-exact)
+
+	fit := NewMessage("fit/final")
+	w := make([]float64, 32)
+	for i := range w {
+		w[i] = math.Cos(float64(i)) * 12.5
+	}
+	fit.Floats["weights"] = w
+	fit.Ints["keep"] = nil
+	fit.Floats["empty"] = []float64{}
+
+	return []Message{plain, props, fit}
+}
+
+// equalWireMessages compares messages with NaN-tolerant float
+// equality (the fl-side twin of the codec package's helper).
+func equalWireMessages(a, b Message) bool {
+	if a.Kind != b.Kind || len(a.Scalars) != len(b.Scalars) || len(a.Floats) != len(b.Floats) {
+		return false
+	}
+	for k, av := range a.Scalars {
+		bv, ok := b.Scalars[k]
+		if !ok || math.Float64bits(av) != math.Float64bits(bv) {
+			return false
+		}
+	}
+	for k, av := range a.Floats {
+		bv, ok := b.Floats[k]
+		if !ok || len(av) != len(bv) || (av == nil) != (bv == nil) {
+			return false
+		}
+		for i := range av {
+			if math.Float64bits(av[i]) != math.Float64bits(bv[i]) {
+				return false
+			}
+		}
+	}
+	return reflect.DeepEqual(a.Strings, b.Strings) && reflect.DeepEqual(a.Ints, b.Ints)
+}
+
+// wireMatrixOpts enumerates the codec dimension of the matrix.
+func wireMatrixOpts() map[string]WireOpts {
+	return map[string]WireOpts{
+		"gob-v0":     {},
+		"binary-v1":  {Version: codec.Version1},
+		"v1+quant":   {Version: codec.Version1, Quant: codec.QuantInt8},
+		"v1+quant+z": {Version: codec.Version1, Quant: codec.QuantFloat16, Compress: true},
+	}
+}
+
+// checkWireResponse asserts a mirrored fixture against its tier's
+// contract: exact identity for lossless tiers, same shape with
+// bounded per-element error for quantized ones. The bound is doubled:
+// the payload crosses the wire twice (request, response), and while
+// both lossy maps are idempotent up to float64 rounding, the matrix
+// test does not rely on that.
+func checkWireResponse(t *testing.T, label string, sent, got Message, w WireOpts) {
+	t.Helper()
+	want := sent
+	want.Normalize()
+	if w.Quant == codec.QuantNone {
+		if !equalWireMessages(want, got) {
+			t.Errorf("%s: lossless response diverged\nwant %#v\ngot  %#v", label, want, got)
+		}
+		return
+	}
+	gotShape := got
+	gotShape.Floats = want.Floats
+	gotShape.Scalars = want.Scalars
+	if !equalWireMessages(want, gotShape) {
+		t.Errorf("%s: non-float sections diverged\nwant %#v\ngot  %#v", label, want, gotShape)
+	}
+	if len(got.Scalars) != len(want.Scalars) {
+		t.Fatalf("%s: scalar keys lost", label)
+	}
+	// Scalars travel dense under every tier: the lossy tiers round them
+	// to binary16, so the float16 bound applies.
+	f16Bound := func(x float64) float64 {
+		return math.Max(math.Abs(x)*codec.Float16RelError, codec.Float16SubnormalAbsError)
+	}
+	for k, wv := range want.Scalars {
+		gv, ok := got.Scalars[k]
+		if !ok {
+			t.Fatalf("%s: scalar %q lost", label, k)
+		}
+		if diff := math.Abs(gv - wv); !(diff <= 2*f16Bound(wv)) {
+			t.Errorf("%s: scalar %q error %g exceeds bound %g", label, k, diff, 2*f16Bound(wv))
+		}
+	}
+	for k, wv := range want.Floats {
+		gv, ok := got.Floats[k]
+		if !ok || len(gv) != len(wv) {
+			t.Fatalf("%s: float key %q lost or resized", label, k)
+		}
+		if len(wv) < 8 { // below the quantization floor: dense, binary16-rounded
+			for i := range wv {
+				if diff := math.Abs(gv[i] - wv[i]); !(diff <= 2*f16Bound(wv[i])) {
+					t.Errorf("%s: short vector %q[%d] error %g exceeds bound", label, k, i, diff)
+				}
+			}
+			continue
+		}
+		lo, hi := wv[0], wv[0]
+		for _, x := range wv {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		for i := range wv {
+			var bound float64
+			if w.Quant == codec.QuantInt8 {
+				bound = codec.Int8RangeError*(hi-lo) + codec.Float16SubnormalAbsError
+			} else {
+				bound = f16Bound(wv[i])
+			}
+			bound = 2*bound + 1e-9*math.Max(math.Abs(lo), math.Abs(hi))
+			if diff := math.Abs(gv[i] - wv[i]); !(diff <= bound) {
+				t.Errorf("%s: %q[%d] error %g exceeds bound %g", label, k, i, diff, bound)
+			}
+		}
+	}
+}
+
+// startWireTCP brings up a one-client TCP transport where both ends
+// speak the given wire options, returning the transport and a cleanup.
+func startWireTCP(t *testing.T, server, client WireOpts) *TCPTransport {
+	t.Helper()
+	type listenResult struct {
+		tr  *TCPTransport
+		err error
+	}
+	addrCh := make(chan string, 1)
+	resCh := make(chan listenResult, 1)
+	go func() {
+		tr, err := ListenTCPWire("127.0.0.1:0", 1, 5*time.Second, addrCh, server)
+		resCh <- listenResult{tr, err}
+	}()
+	addr := <-addrCh
+	stop := make(chan struct{})
+	go func() { _ = ServeTCPWire(addr, mirrorClient{}, stop, client) }()
+	res := <-resCh
+	if res.err != nil {
+		close(stop)
+		t.Fatal(res.err)
+	}
+	t.Cleanup(func() {
+		close(stop)
+		//lint:allow errdrop test teardown
+		res.tr.Close()
+	})
+	return res.tr
+}
+
+// TestWireMatrixEquivalence drives every fixture through
+// {inproc, TCP} × {gob-v0, binary-v1, binary-v1+quant} and asserts the
+// same canonical result in every cell — the PR 4 nil-vs-empty parity
+// guarantee extended across wire formats.
+func TestWireMatrixEquivalence(t *testing.T) {
+	for name, w := range wireMatrixOpts() {
+		transports := map[string]Transport{
+			"inproc": NewInProcWire([]Client{mirrorClient{}}, w),
+			"tcp":    startWireTCP(t, w, w),
+		}
+		for tname, tr := range transports {
+			for fi, fixture := range wireFixtures() {
+				got, err := tr.Call(0, fixture)
+				if err != nil {
+					t.Fatalf("%s/%s fixture %d: %v", name, tname, fi, err)
+				}
+				checkWireResponse(t, name+"/"+tname, fixture, got, w)
+			}
+		}
+	}
+}
+
+// TestWireMatrixCrossTransportAgreement: for each wire format, the
+// in-process and TCP transports return byte-identical canonical
+// responses for lossless tiers and identical quantized values for
+// lossy ones (both ends quantize through the same codec).
+func TestWireMatrixCrossTransportAgreement(t *testing.T) {
+	for name, w := range wireMatrixOpts() {
+		inproc := NewInProcWire([]Client{mirrorClient{}}, w)
+		tcp := startWireTCP(t, w, w)
+		for fi, fixture := range wireFixtures() {
+			a, err := inproc.Call(0, fixture)
+			if err != nil {
+				t.Fatalf("%s inproc fixture %d: %v", name, fi, err)
+			}
+			b, err := tcp.Call(0, fixture)
+			if err != nil {
+				t.Fatalf("%s tcp fixture %d: %v", name, fi, err)
+			}
+			if !equalWireMessages(a, b) {
+				t.Errorf("%s fixture %d: transports disagree\ninproc %#v\ntcp    %#v", name, fi, a, b)
+			}
+		}
+	}
+}
+
+// TestWireMixedVersions proves the negotiation fallback: any pairing
+// of v0 and v1 endpoints settles on the highest common version and
+// completes calls correctly.
+func TestWireMixedVersions(t *testing.T) {
+	v0 := WireOpts{}
+	v1 := WireOpts{Version: codec.Version1}
+	v1q := WireOpts{Version: codec.Version1, Quant: codec.QuantInt8, Compress: true}
+	cases := []struct {
+		name           string
+		server, client WireOpts
+	}{
+		{"v1-server/v0-client", v1, v0},
+		{"v0-server/v1-client", v0, v1},
+		{"v1q-server/v1-client", v1q, v1},
+		{"v1-server/v1q-client", v1, v1q},
+		{"v0-server/v0-client", v0, v0},
+	}
+	fixture := wireFixtures()[1]
+	want := fixture
+	want.Normalize()
+	for _, c := range cases {
+		tr := startWireTCP(t, c.server, c.client)
+		got, err := tr.Call(0, fixture)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		// Every pairing here is lossless for this fixture (its only
+		// vector is below the quantization floor).
+		if !equalWireMessages(want, got) {
+			t.Errorf("%s: response diverged\nwant %#v\ngot  %#v", c.name, want, got)
+		}
+	}
+}
+
+// TestParseWireOpts covers the -wire flag syntax round trip.
+func TestParseWireOpts(t *testing.T) {
+	good := map[string]WireOpts{
+		"gob":      {},
+		"v0":       {},
+		"v1":       {Version: 1},
+		"v1+q8":    {Version: 1, Quant: codec.QuantInt8},
+		"v1+q16":   {Version: 1, Quant: codec.QuantFloat16},
+		"v1+z":     {Version: 1, Compress: true},
+		"v1+q8+z":  {Version: 1, Quant: codec.QuantInt8, Compress: true},
+		"v1+q16+z": {Version: 1, Quant: codec.QuantFloat16, Compress: true},
+	}
+	for s, want := range good {
+		got, err := ParseWireOpts(s)
+		if err != nil {
+			t.Errorf("ParseWireOpts(%q): %v", s, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseWireOpts(%q) = %+v, want %+v", s, got, want)
+		}
+		// String renders canonically ("gob" and "v0" both print "gob").
+		canon := s
+		if s == "v0" {
+			canon = "gob"
+		}
+		if got.String() != canon {
+			t.Errorf("ParseWireOpts(%q).String() = %q", s, got.String())
+		}
+	}
+	for _, s := range []string{"", "v2", "v1+q7", "gob+z", "v1+", "q8"} {
+		if _, err := ParseWireOpts(s); err == nil {
+			t.Errorf("ParseWireOpts(%q) accepted invalid input", s)
+		}
+	}
+}
+
+// TestWireAccounting: a server on a v1 transport bills the exact
+// encoded frame bytes; on v0 (or any Wire-less transport) it keeps the
+// PayloadSize estimate — so pre-codec accounting is untouched.
+func TestWireAccounting(t *testing.T) {
+	req := wireFixtures()[1]
+	for name, w := range wireMatrixOpts() {
+		srv := NewServer(NewInProcWire([]Client{mirrorClient{}, mirrorClient{}}, w))
+		resps, err := srv.Broadcast(req)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		wantDown := 2 * w.Size(req)
+		var wantUp int64
+		for _, r := range resps {
+			wantUp += w.Size(r)
+		}
+		if w.Version >= codec.Version1 {
+			if exact := int64(codec.EncodedSize(req, codec.Options{Quant: w.Quant, Compress: w.Compress})); w.Size(req) != exact {
+				t.Errorf("%s: Size != EncodedSize (%d != %d)", name, w.Size(req), exact)
+			}
+		} else if w.Size(req) != req.PayloadSize() {
+			t.Errorf("%s: v0 Size != PayloadSize", name)
+		}
+		st := srv.Stats()
+		if st.BytesDown != wantDown || st.BytesUp != wantUp {
+			t.Errorf("%s: stats down/up = %d/%d, want %d/%d", name, st.BytesDown, st.BytesUp, wantDown, wantUp)
+		}
+	}
+}
+
+// TestChaosWireDelegation: wrapping a wire-aware transport in chaos
+// keeps the server's byte accounting identical.
+func TestChaosWireDelegation(t *testing.T) {
+	w := WireOpts{Version: codec.Version1, Compress: true}
+	inner := NewInProcWire([]Client{mirrorClient{}}, w)
+	chaos := NewChaos(inner, 1)
+	if got := chaos.Wire(); got != w {
+		t.Fatalf("chaos Wire() = %+v, want %+v", got, w)
+	}
+	srv := NewServer(chaos)
+	req := wireFixtures()[2]
+	if _, err := srv.Call(0, req); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.BytesDown != w.Size(req) {
+		t.Errorf("chaos-wrapped BytesDown = %d, want %d", st.BytesDown, w.Size(req))
+	}
+	// An inner transport with default (v0) wire degrades to v0
+	// accounting through the chaos wrapper too.
+	if got := NewChaos(NewInProc([]Client{mirrorClient{}}), 1).Wire(); got != (WireOpts{}) {
+		t.Errorf("v0 inner reported %+v", got)
+	}
+}

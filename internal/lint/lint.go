@@ -154,23 +154,42 @@ func DefaultConfig(modulePath string) Config {
 			modulePath + "/internal/timeseries.Series": true,
 		},
 		PrivacySinkTypes: map[string]bool{
-			modulePath + "/internal/fl.Message": true,
+			// fl.Message is an alias of codec.Message, so go/types names
+			// the type by its defining package; the fl spelling is kept
+			// for configs predating the alias.
+			modulePath + "/internal/fl.Message":       true,
+			modulePath + "/internal/fl/codec.Message": true,
 		},
 		PrivacySinkFuncs: map[string]bool{
 			"(" + modulePath + "/internal/fl.Transport).Call": true,
 			"(*encoding/gob.Encoder).Encode":                  true,
+			modulePath + "/internal/fl/codec.Encode":          true,
+			modulePath + "/internal/fl/codec.AppendEncode":    true,
 		},
+		// Note for extenders: the codec's quantizers (quantInt8,
+		// quantFloat16) look like aggregations — they reduce a tensor to
+		// scale/offset plus low-precision levels — but they are
+		// reversible-to-within-epsilon transforms, not the scalar
+		// statistics the privacy policy admits. They stay OFF the
+		// sanitizer list so tainted Series data quantized on its way into
+		// a Message still trips the privacyflow rule.
 		PrivacySanitizers: map[string]bool{
 			// Aggregating reductions: their results are the scalar
 			// statistics the paper's privacy model permits to cross the
 			// client→server boundary (see DESIGN.md "Privacy policy as
 			// code" for the extension procedure).
-			modulePath + "/internal/metafeat.ExtractClient":                    true,
-			modulePath + "/internal/metafeat.Aggregate":                        true,
-			modulePath + "/internal/metalearn.BuildRecord":                     true,
-			modulePath + "/internal/metafeat.Privatize":                        true,
-			modulePath + "/internal/pipeline.ClientLoss":                       true,
-			modulePath + "/internal/features.ClientImportances":                true,
+			modulePath + "/internal/metafeat.ExtractClient":     true,
+			modulePath + "/internal/metafeat.Aggregate":         true,
+			modulePath + "/internal/metalearn.BuildRecord":      true,
+			modulePath + "/internal/metafeat.Privatize":         true,
+			modulePath + "/internal/pipeline.ClientLoss":        true,
+			modulePath + "/internal/features.ClientImportances": true,
+			// Accounting measurement, not transmission: EncodedSize reduces
+			// a message to its frame length (a byte count — a scalar
+			// statistic) and discards the encoding. A real leak still trips
+			// at the transmitting sinks (Transport.Call, codec.Encode /
+			// AppendEncode on the send path).
+			modulePath + "/internal/fl/codec.EncodedSize":                      true,
 			"(*" + modulePath + "/internal/timeseries.Series).Len":             true,
 			"(*" + modulePath + "/internal/timeseries.Series).MissingFraction": true,
 		},

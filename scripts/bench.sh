@@ -5,13 +5,17 @@
 # BenchmarkEngineRounds runs a full seeded engine run at batch sizes
 # 1/4/8 and reports, per q: wall-clock ns/op, evaluation rounds,
 # total federated rounds, and estimated payload bytes both ways
-# (Server.Stats). BenchmarkRecorderOverhead runs the same workload at
-# q=4 with telemetry off (nil recorder), with the Prometheus
+# (Server.Stats). BenchmarkEngineWire repeats the q=8 workload across
+# wire formats (gob baseline, lossless binary v1 ± flate, quantized
+# tiers), so the bytes_down/bytes_up reduction of the v1 codec is
+# tracked per commit. BenchmarkRecorderOverhead runs the same workload
+# at q=4 with telemetry off (nil recorder), with the Prometheus
 # aggregator attached, and with a metrics+JSONL fan-out, so the
 # telemetry tax stays visible next to the protocol numbers.
 #
-# The JSON is one object with two lists:
+# The JSON is one object with three lists:
 #   {"engine_rounds": [...one object per q...],
+#    "wire_formats": [...one object per wire format, all at q=8...],
 #    "recorder_overhead": [...one object per recorder mode...]}
 #
 # Usage:
@@ -23,12 +27,12 @@ cd "$(dirname "$0")/.."
 benchtime="${BENCHTIME:-1x}"
 out="BENCH_engine.json"
 
-echo "==> go test -bench='EngineRounds|RecorderOverhead' -benchtime=$benchtime ./internal/core/"
-raw="$(go test -bench='EngineRounds|RecorderOverhead' -benchtime="$benchtime" -run '^$' ./internal/core/)"
+echo "==> go test -bench='EngineRounds|EngineWire|RecorderOverhead' -benchtime=$benchtime ./internal/core/"
+raw="$(go test -bench='EngineRounds|EngineWire|RecorderOverhead' -benchtime="$benchtime" -run '^$' ./internal/core/)"
 echo "$raw"
 
 echo "$raw" | awk '
-BEGIN { nr = 0; no = 0 }
+BEGIN { nr = 0; nw = 0; no = 0 }
 /^BenchmarkEngineRounds\// {
     split($1, parts, "=")
     sub(/-[0-9]+$/, "", parts[2])   # strip the -GOMAXPROCS suffix
@@ -44,6 +48,21 @@ BEGIN { nr = 0; no = 0 }
     rows[nr++] = sprintf("    {\"q\": %s, \"ns_per_op\": %s, \"eval_rounds\": %s, \"rounds\": %s, \"bytes_down\": %s, \"bytes_up\": %s}", \
         q, nsop, evalrounds, rounds, bytesdown, bytesup)
 }
+/^BenchmarkEngineWire\// {
+    split($1, parts, "=")
+    sub(/-[0-9]+$/, "", parts[2])   # strip the -GOMAXPROCS suffix
+    wire = parts[2]
+    nsop = ""; evalrounds = ""; rounds = ""; bytesdown = ""; bytesup = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")      nsop = $i
+        if ($(i+1) == "evalrounds") evalrounds = $i
+        if ($(i+1) == "rounds")     rounds = $i
+        if ($(i+1) == "bytesdown")  bytesdown = $i
+        if ($(i+1) == "bytesup")    bytesup = $i
+    }
+    wrows[nw++] = sprintf("    {\"q\": 8, \"wire\": \"%s\", \"ns_per_op\": %s, \"eval_rounds\": %s, \"rounds\": %s, \"bytes_down\": %s, \"bytes_up\": %s}", \
+        wire, nsop, evalrounds, rounds, bytesdown, bytesup)
+}
 /^BenchmarkRecorderOverhead\// {
     split($1, parts, "/")
     sub(/-[0-9]+$/, "", parts[2])   # strip the -GOMAXPROCS suffix
@@ -58,6 +77,9 @@ END {
     print "{"
     print "  \"engine_rounds\": ["
     for (i = 0; i < nr; i++) printf "%s%s\n", rows[i], (i < nr-1 ? "," : "")
+    print "  ],"
+    print "  \"wire_formats\": ["
+    for (i = 0; i < nw; i++) printf "%s%s\n", wrows[i], (i < nw-1 ? "," : "")
     print "  ],"
     print "  \"recorder_overhead\": ["
     for (i = 0; i < no; i++) printf "%s%s\n", orows[i], (i < no-1 ? "," : "")
