@@ -1,8 +1,9 @@
 // Command fedlint runs FedForecaster's project-specific static
 // analyzers over the module: determinism (seededrand, walltime,
 // maporder), numeric safety (floateq), error hygiene (errdrop,
-// panicfree), and the interprocedural privacy-boundary check
-// (privacyflow).
+// panicfree), concurrency discipline (lockguard, goroleak,
+// deadlineflow), wire-format coverage (codeccover), and the
+// interprocedural privacy-boundary check (privacyflow).
 //
 // Usage:
 //
@@ -10,6 +11,7 @@
 //	go run ./cmd/fedlint ./internal/...   # restrict to a subtree
 //	go run ./cmd/fedlint -list            # describe the rules
 //	go run ./cmd/fedlint -json ./...      # one JSON diagnostic per line
+//	go run ./cmd/fedlint -sarif ./...     # SARIF 2.1.0 log for code scanning
 //	go run ./cmd/fedlint -graph ./...     # module call graph in DOT form
 //	go run ./cmd/fedlint -fixture internal/lint/testdata/src/errdrop
 //	                                      # lint one standalone fixture dir
@@ -41,13 +43,18 @@ func main() {
 	list := flag.Bool("list", false, "list the registered rules and exit")
 	fixture := flag.String("fixture", "", "lint one standalone package directory (no go.mod) instead of the module")
 	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic per line (file/line/col/rule/message/chain)")
+	sarifOut := flag.Bool("sarif", false, "emit a SARIF 2.1.0 log (for GitHub code scanning upload)")
 	graph := flag.Bool("graph", false, "emit the call graph of the selected packages in Graphviz DOT form and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: fedlint [-root dir] [-fixture dir] [-list] [-json] [-graph] [packages]\n\n"+
+		fmt.Fprintf(os.Stderr, "usage: fedlint [-root dir] [-fixture dir] [-list] [-json] [-sarif] [-graph] [packages]\n\n"+
 			"Patterns are module-relative: ./... (default), ./internal/..., ./internal/fl.\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "fedlint: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
 
 	analyzers := lint.Analyzers()
 	if *list {
@@ -57,8 +64,16 @@ func main() {
 		return
 	}
 
+	mode := modeText
+	switch {
+	case *jsonOut:
+		mode = modeJSON
+	case *sarifOut:
+		mode = modeSARIF
+	}
+
 	if *fixture != "" {
-		os.Exit(runFixture(os.Stdout, *fixture, analyzers, *jsonOut, *graph))
+		os.Exit(runFixture(os.Stdout, *fixture, analyzers, mode, *graph))
 	}
 
 	fset, pkgs, modPath, err := lint.LoadModule(*root)
@@ -78,8 +93,17 @@ func main() {
 	}
 
 	findings := lint.Run(fset, selected, analyzers, lint.DefaultConfig(modPath))
-	os.Exit(report(os.Stdout, findings, *jsonOut))
+	os.Exit(report(os.Stdout, findings, analyzers, mode))
 }
+
+// outMode selects the findings renderer.
+type outMode int
+
+const (
+	modeText outMode = iota
+	modeJSON
+	modeSARIF
+)
 
 // diagJSON is the stable JSON-lines schema of -json output. Field
 // names and order are part of the tool's contract; the driver test
@@ -93,10 +117,29 @@ type diagJSON struct {
 	Chain   []string `json:"chain,omitempty"`
 }
 
-// writeFindings renders findings in the canonical text form or as one
-// JSON object per line.
-func writeFindings(w io.Writer, findings []lint.Finding, asJSON bool) error {
-	if !asJSON {
+// writeFindings renders findings in the canonical text form, as one
+// JSON object per line, or as a single SARIF log.
+func writeFindings(w io.Writer, findings []lint.Finding, analyzers []*lint.Analyzer, mode outMode) error {
+	switch mode {
+	case modeJSON:
+		enc := json.NewEncoder(w)
+		for _, f := range findings {
+			d := diagJSON{
+				File:    f.Pos.Filename,
+				Line:    f.Pos.Line,
+				Col:     f.Pos.Column,
+				Rule:    f.Rule,
+				Message: f.Message,
+				Chain:   f.Chain,
+			}
+			if err := enc.Encode(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	case modeSARIF:
+		return writeSARIF(w, findings, analyzers)
+	default:
 		for _, f := range findings {
 			if _, err := fmt.Fprintln(w, f.String()); err != nil {
 				return err
@@ -104,27 +147,12 @@ func writeFindings(w io.Writer, findings []lint.Finding, asJSON bool) error {
 		}
 		return nil
 	}
-	enc := json.NewEncoder(w)
-	for _, f := range findings {
-		d := diagJSON{
-			File:    f.Pos.Filename,
-			Line:    f.Pos.Line,
-			Col:     f.Pos.Column,
-			Rule:    f.Rule,
-			Message: f.Message,
-			Chain:   f.Chain,
-		}
-		if err := enc.Encode(d); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // report renders findings and returns the process exit code
 // (0 clean, 1 findings, 2 write error).
-func report(w io.Writer, findings []lint.Finding, asJSON bool) int {
-	if err := writeFindings(w, findings, asJSON); err != nil {
+func report(w io.Writer, findings []lint.Finding, analyzers []*lint.Analyzer, mode outMode) int {
+	if err := writeFindings(w, findings, analyzers, mode); err != nil {
 		fmt.Fprintln(os.Stderr, "fedlint:", err)
 		return 2
 	}
@@ -148,7 +176,7 @@ func emitGraph(w io.Writer, fset *token.FileSet, pkgs []*lint.Package) int {
 // fixtures under internal/lint/testdata — under the same policy the
 // driver tests use (lint.FixtureConfig). Returns the process exit
 // code (0 clean, 1 findings, 2 load error).
-func runFixture(w io.Writer, dir string, analyzers []*lint.Analyzer, asJSON, graph bool) int {
+func runFixture(w io.Writer, dir string, analyzers []*lint.Analyzer, mode outMode, graph bool) int {
 	fset := token.NewFileSet()
 	ip := "fixture/" + filepath.Base(filepath.Clean(dir))
 	pkg, err := lint.LoadDir(fset, dir, ip)
@@ -160,7 +188,7 @@ func runFixture(w io.Writer, dir string, analyzers []*lint.Analyzer, asJSON, gra
 		return emitGraph(w, fset, []*lint.Package{pkg})
 	}
 	findings := lint.Run(fset, []*lint.Package{pkg}, analyzers, lint.FixtureConfig(ip))
-	return report(w, findings, asJSON)
+	return report(w, findings, analyzers, mode)
 }
 
 // selectPackages filters the loaded packages by the command-line

@@ -21,7 +21,7 @@ const (
 func jsonFixtureOutput(t *testing.T) (string, int) {
 	t.Helper()
 	var buf bytes.Buffer
-	code := runFixture(&buf, privacyFixture, lint.Analyzers(), true, false)
+	code := runFixture(&buf, privacyFixture, lint.Analyzers(), modeJSON, false)
 	return buf.String(), code
 }
 
@@ -93,7 +93,7 @@ var dotEdgeRe = regexp.MustCompile(`^  "[^"]+" -> "[^"]+"( \[style=(dashed|dotte
 // grammar) and node declarations appear in sorted order.
 func TestGraphDOT(t *testing.T) {
 	var buf bytes.Buffer
-	if code := runFixture(&buf, callgraphFixture, lint.Analyzers(), false, true); code != 0 {
+	if code := runFixture(&buf, callgraphFixture, lint.Analyzers(), modeText, true); code != 0 {
 		t.Fatalf("runFixture -graph exit = %d, want 0", code)
 	}
 	out := buf.String()
@@ -132,7 +132,7 @@ func TestGraphDOT(t *testing.T) {
 func TestGraphDeterministic(t *testing.T) {
 	render := func() string {
 		var buf bytes.Buffer
-		if code := runFixture(&buf, callgraphFixture, lint.Analyzers(), false, true); code != 0 {
+		if code := runFixture(&buf, callgraphFixture, lint.Analyzers(), modeText, true); code != 0 {
 			t.Fatalf("runFixture -graph exit = %d, want 0", code)
 		}
 		return buf.String()
@@ -143,11 +143,117 @@ func TestGraphDeterministic(t *testing.T) {
 	}
 }
 
+// sarifFixtureOutput runs the privacyflow fixture through the real
+// driver path in -sarif mode and returns the parsed log.
+func sarifFixtureOutput(t *testing.T) (sarifLog, string, int) {
+	t.Helper()
+	var buf bytes.Buffer
+	code := runFixture(&buf, privacyFixture, lint.Analyzers(), modeSARIF, false)
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("-sarif output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return log, buf.String(), code
+}
+
+// TestSARIFSchema: the -sarif log carries the pinned schema/version,
+// one run with driver "fedlint", the full rule registry (plus the
+// directive pseudo-rule), and every result references a declared rule
+// with a physical location.
+func TestSARIFSchema(t *testing.T) {
+	log, _, code := sarifFixtureOutput(t)
+	if code != 1 {
+		t.Fatalf("runFixture exit = %d, want 1 (fixture contains deliberate findings)", code)
+	}
+	if log.Schema != sarifSchema || log.Version != sarifVersion {
+		t.Fatalf("schema/version = %q/%q, want %q/%q", log.Schema, log.Version, sarifSchema, sarifVersion)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "fedlint" {
+		t.Errorf("driver name = %q, want fedlint", run.Tool.Driver.Name)
+	}
+	declared := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ID == "" || r.ShortDescription.Text == "" {
+			t.Errorf("rule %+v missing id or description", r)
+		}
+		declared[r.ID] = true
+	}
+	for _, a := range lint.Analyzers() {
+		if !declared[a.Name] {
+			t.Errorf("registered analyzer %s absent from SARIF rules", a.Name)
+		}
+	}
+	if !declared["directive"] {
+		t.Error("directive pseudo-rule absent from SARIF rules")
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("fixture run produced no SARIF results")
+	}
+	sawChain := false
+	for _, res := range run.Results {
+		if !declared[res.RuleID] {
+			t.Errorf("result rule %q not declared by the driver", res.RuleID)
+		}
+		if res.Level != "error" {
+			t.Errorf("result level = %q, want error", res.Level)
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("result has %d locations, want 1", len(res.Locations))
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI == "" || strings.Contains(loc.ArtifactLocation.URI, `\`) {
+			t.Errorf("artifact URI %q empty or not slash-form", loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine <= 0 || loc.Region.StartColumn <= 0 {
+			t.Errorf("non-positive region %+v", loc.Region)
+		}
+		if res.RuleID == "privacyflow" && strings.Contains(res.Message.Text, "\nchain: ") {
+			sawChain = true
+		}
+	}
+	if !sawChain {
+		t.Error("no privacyflow result carries its chain in the message text")
+	}
+}
+
+// TestSARIFDeterministic: repeated -sarif runs are byte-identical.
+func TestSARIFDeterministic(t *testing.T) {
+	_, first, _ := sarifFixtureOutput(t)
+	for i := 0; i < 3; i++ {
+		if _, got, _ := sarifFixtureOutput(t); got != first {
+			t.Fatalf("-sarif output diverged on run %d:\n%s\nwant:\n%s", i+2, got, first)
+		}
+	}
+}
+
+// TestSARIFAndTextAgree: the SARIF log describes exactly the findings
+// text mode prints, in the same order.
+func TestSARIFAndTextAgree(t *testing.T) {
+	var text bytes.Buffer
+	runFixture(&text, privacyFixture, lint.Analyzers(), modeText, false)
+	textLines := strings.Split(strings.TrimSpace(text.String()), "\n")
+	log, _, _ := sarifFixtureOutput(t)
+	results := log.Runs[0].Results
+	if len(results) != len(textLines) {
+		t.Fatalf("sarif mode has %d results, text mode %d findings", len(results), len(textLines))
+	}
+	for i, res := range results {
+		msg, _, _ := strings.Cut(res.Message.Text, "\n")
+		if !strings.Contains(textLines[i], res.RuleID) || !strings.Contains(textLines[i], msg) {
+			t.Errorf("text line %q does not match sarif result %q / %q", textLines[i], res.RuleID, msg)
+		}
+	}
+}
+
 // TestTextAndJSONAgree: both output modes describe the same findings
 // at the same positions.
 func TestTextAndJSONAgree(t *testing.T) {
 	var text bytes.Buffer
-	runFixture(&text, privacyFixture, lint.Analyzers(), false, false)
+	runFixture(&text, privacyFixture, lint.Analyzers(), modeText, false)
 	jsonOut, _ := jsonFixtureOutput(t)
 	textLines := strings.Split(strings.TrimSpace(text.String()), "\n")
 	jsonLines := strings.Split(strings.TrimSpace(jsonOut), "\n")

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+
+	"fedforecaster/internal/lint"
+)
+
+// This file renders findings as a SARIF 2.1.0 log — the interchange
+// format GitHub code scanning ingests to annotate PR diffs. The schema
+// below is the minimal stable subset: one run, one driver, the full
+// rule registry (so rule metadata is present even for clean runs), and
+// one result per finding. Field order follows struct order and is part
+// of the tool's contract; the driver test pins it.
+
+const (
+	sarifVersion = "2.1.0"
+	sarifSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// writeSARIF renders one SARIF log for the findings. Every finding is
+// level "error" — the fedlint gate fails the build on any of them —
+// and interprocedural chains are appended to the message text so code
+// scanning shows the full path.
+func writeSARIF(w io.Writer, findings []lint.Finding, analyzers []*lint.Analyzer) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	rules = append(rules, sarifRule{
+		ID:               "directive",
+		ShortDescription: sarifText{Text: "malformed or unknown //lint:allow suppression directive"},
+	})
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		text := f.Message
+		if len(f.Chain) > 0 {
+			text += "\nchain: " + strings.Join(f.Chain, " -> ")
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Rule,
+			Level:   "error",
+			Message: sarifText{Text: text},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: sarifURI(f.Pos.Filename)},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "fedlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// sarifURI renders a repository-relative slash path, as code scanning
+// expects.
+func sarifURI(filename string) string {
+	return strings.TrimPrefix(filepath.ToSlash(filename), "./")
+}

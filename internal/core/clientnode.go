@@ -35,7 +35,7 @@ type ClientNode struct {
 
 	// cacheMu guards cache, the round-protocol-v2 feature-matrix cache.
 	cacheMu sync.Mutex
-	cache   *evalCache
+	cache   *evalCache // guarded by cacheMu
 }
 
 // evalCache is the client-side state installed by an eval/prepare

@@ -46,10 +46,10 @@ type ClientFaults struct {
 // deterministic even under concurrent broadcasts.
 type chaosClient struct {
 	mu     sync.Mutex
-	rng    *rand.Rand
-	faults ClientFaults
-	calls  int
-	dead   bool
+	rng    *rand.Rand   // guarded by mu
+	faults ClientFaults // guarded by mu
+	calls  int          // guarded by mu
+	dead   bool         // guarded by mu
 }
 
 // ChaosTransport wraps any Transport and injects per-client faults:
@@ -62,8 +62,8 @@ type ChaosTransport struct {
 	seed  int64
 
 	mu      sync.Mutex
-	clients map[int]*chaosClient
-	rec     obs.Recorder
+	clients map[int]*chaosClient // guarded by mu
+	rec     obs.Recorder         // guarded by mu
 }
 
 // NewChaos wraps the transport. Each client's fault RNG is derived from

@@ -119,8 +119,8 @@ type Server struct {
 	// statsMu guards stats and rec: rounds may (in principle) be driven
 	// concurrently, and accounting must never race them.
 	statsMu sync.Mutex
-	stats   Stats
-	rec     obs.Recorder
+	stats   Stats        // guarded by statsMu
+	rec     obs.Recorder // guarded by statsMu
 }
 
 // NewServer returns a server bound to the transport. If the transport

@@ -31,7 +31,7 @@ var ErrQuorumNotMet = errors.New("fl: quorum not met")
 // sequences, so fault-injection traces replay bit-identically.
 type Jitter struct {
 	mu sync.Mutex
-	r  *rand.Rand
+	r  *rand.Rand // guarded by mu
 }
 
 // NewJitter returns a jitter stream seeded for replay. Library code

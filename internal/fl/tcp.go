@@ -35,10 +35,10 @@ type TCPTransport struct {
 	listener net.Listener
 	wire     WireOpts
 	mu       sync.Mutex
-	conns    []*tcpConn
+	conns    []*tcpConn // guarded by mu
 	// callTimeout, when > 0, bounds each Call via net.Conn.SetDeadline
 	// so a hung or partitioned client errors out instead of blocking a
-	// round forever.
+	// round forever. guarded by mu.
 	callTimeout time.Duration
 }
 
@@ -50,15 +50,18 @@ type tcpConn struct {
 	// deadline, so a client that connects but never speaks (hung peer)
 	// is accepted at listen time and trips ErrCallTimeout at call time —
 	// the same observable behaviour as the pre-negotiation protocol.
+	// guarded by mu.
 	vers int
 	// enc/dec are the gob pair, populated only when vers == 0.
+	// guarded by mu.
 	enc *gob.Encoder
-	dec *gob.Decoder
+	dec *gob.Decoder // guarded by mu
 	mu  sync.Mutex
 	// dead marks a connection whose stream failed. Neither format is
 	// mid-message recoverable (a gob stream is unframed; a torn codec
 	// frame desynchronizes the length prefixes), so the connection is
 	// closed and every later call fails fast with ErrClientDead.
+	// guarded by mu.
 	dead bool
 }
 
@@ -138,9 +141,12 @@ func ListenTCPWire(addr string, expectClients int, timeout time.Duration, addrCh
 	if addrCh != nil {
 		addrCh <- ln.Addr().String()
 	}
-	t := &TCPTransport{listener: ln, wire: wire}
+	// The connection table is built in a local slice and the transport
+	// constructed only once it is complete: the guarded conns field is
+	// never touched outside its mutex, not even single-threaded setup.
+	var conns []*tcpConn
 	deadline := time.Now().Add(timeout)
-	for len(t.conns) < expectClients {
+	for len(conns) < expectClients {
 		if dl, ok := ln.(*net.TCPListener); ok {
 			if err := dl.SetDeadline(deadline); err != nil {
 				//lint:allow errdrop accept already failed; listener close error would mask the root cause
@@ -152,11 +158,11 @@ func ListenTCPWire(addr string, expectClients int, timeout time.Duration, addrCh
 		if err != nil {
 			//lint:allow errdrop accept already failed; listener close error would mask the root cause
 			ln.Close()
-			return nil, fmt.Errorf("fl: accept (have %d/%d clients): %w", len(t.conns), expectClients, err)
+			return nil, fmt.Errorf("fl: accept (have %d/%d clients): %w", len(conns), expectClients, err)
 		}
-		t.conns = append(t.conns, &tcpConn{conn: conn, vers: -1})
+		conns = append(conns, &tcpConn{conn: conn, vers: -1})
 	}
-	return t, nil
+	return &TCPTransport{listener: ln, wire: wire, conns: conns}, nil
 }
 
 // negotiateLocked performs the server side of the version handshake on
@@ -381,10 +387,19 @@ func ServeTCPWire(addr string, client Client, stop <-chan struct{}, wire WireOpt
 	}
 	defer conn.Close()
 	if stop != nil {
+		// The stop watcher must not outlive this call: a caller that never
+		// closes stop (an abandoned channel, or reuse across reconnects)
+		// would otherwise leak one goroutine per serve. watchDone is
+		// closed on return, so the watcher always has a termination path.
+		watchDone := make(chan struct{})
+		defer close(watchDone)
 		go func() {
-			<-stop
-			//lint:allow errdrop shutdown signal path; the in-flight call observes the closed socket
-			conn.Close()
+			select {
+			case <-stop:
+				//lint:allow errdrop shutdown signal path; the in-flight call observes the closed socket
+				conn.Close()
+			case <-watchDone:
+			}
 		}()
 	}
 	vers, err := negotiateClient(conn, wire.Version)

@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CodecCover is the wire-format schema-drift guard for the binary
+// codec (wire format v1). It enforces two invariants over the
+// configured codec packages:
+//
+//   - every exported field of the package's Message struct must be
+//     referenced by code reachable (via the shared call graph) from
+//     both Encode and Decode — a field handled by one side but not the
+//     other is silently dropped or zeroed on the wire;
+//   - every protocol vocabulary constant (top-level string consts named
+//     kind*/key* in the configured vocabulary packages) must appear in
+//     the codec's `vocab` intern table — a missing entry does not fail,
+//     it silently falls back to costly direct-form string encoding on
+//     every message.
+//
+// The field check only runs when a codec package actually declares the
+// Message/Encode/Decode triple; the vocab check only runs when a vocab
+// table is found. Packages without a wire format are out of scope.
+var CodecCover = &Analyzer{
+	Name: "codeccover",
+	Doc: "codec Message fields must be handled by both Encode and Decode, and " +
+		"protocol kind*/key* constants must be interned in the codec vocab table",
+	RunModule: runCodecCover,
+}
+
+func runCodecCover(p *ModulePass) {
+	if len(p.Config.CodecPkgs) == 0 {
+		return
+	}
+	var vocab map[string]bool
+	for _, pkg := range p.Pkgs { // Pkgs order is the load order: deterministic
+		if !p.Config.CodecPkgs[pkg.ImportPath] {
+			continue
+		}
+		p.checkMessageCoverage(pkg)
+		for v := range collectVocab(pkg) {
+			if vocab == nil {
+				vocab = map[string]bool{}
+			}
+			vocab[v] = true
+		}
+	}
+	if vocab == nil {
+		return // no intern table in scope — nothing to check against
+	}
+	for _, pkg := range p.Pkgs {
+		if p.Config.CodecVocabPkgs[pkg.ImportPath] {
+			p.checkVocabCoverage(pkg, vocab)
+		}
+	}
+}
+
+// checkMessageCoverage verifies that every exported field of pkg's
+// Message struct is referenced from both the Encode and the Decode
+// reachability cone. Findings land on the field declaration: the field
+// object's position is its name inside the struct type.
+func (p *ModulePass) checkMessageCoverage(pkg *Package) {
+	if pkg.Types == nil {
+		return
+	}
+	scope := pkg.Types.Scope()
+	msgObj, _ := scope.Lookup("Message").(*types.TypeName)
+	encObj, _ := scope.Lookup("Encode").(*types.Func)
+	decObj, _ := scope.Lookup("Decode").(*types.Func)
+	if msgObj == nil || encObj == nil || decObj == nil {
+		return
+	}
+	named, ok := msgObj.Type().(*types.Named)
+	if !ok {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+
+	cg := p.graph()
+	encSet := fieldsReferenced(cg, st, cg.NodeOf(encObj))
+	decSet := fieldsReferenced(cg, st, cg.NodeOf(decObj))
+
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		if !encSet[f.Name()] {
+			p.Reportf(f.Pos(), "codec schema drift: Message field %s is not referenced by Encode "+
+				"(the wire format silently drops it)", f.Name())
+		}
+		if !decSet[f.Name()] {
+			p.Reportf(f.Pos(), "codec schema drift: Message field %s is not referenced by Decode "+
+				"(it decodes to the zero value)", f.Name())
+		}
+	}
+}
+
+// fieldsReferenced collects the names of the struct's fields selected
+// anywhere in the functions reachable from root.
+func fieldsReferenced(cg *CallGraph, st *types.Struct, root *CallNode) map[string]bool {
+	out := map[string]bool{}
+	if root == nil {
+		return out
+	}
+	for n := range cg.Reachable(root) {
+		info := n.Pkg.Info
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			sel, ok := node.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := info.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			if v, ok := s.Obj().(*types.Var); ok && fieldOfStruct(v, st) {
+				out[v.Name()] = true
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// fieldOfStruct reports whether v is one of st's fields.
+func fieldOfStruct(v *types.Var, st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// collectVocab extracts the string values of pkg's `vocab` intern
+// table: a package-level `var vocab = []string{...}` whose elements
+// are constant strings. Nil when the package has no such table.
+func collectVocab(pkg *Package) map[string]bool {
+	var out map[string]bool
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "vocab" || len(vs.Values) != 1 {
+					continue
+				}
+				lit, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				if out == nil {
+					out = map[string]bool{}
+				}
+				for _, elt := range lit.Elts {
+					if tv, ok := pkg.Info.Types[elt]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+						out[constant.StringVal(tv.Value)] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkVocabCoverage flags top-level protocol vocabulary constants
+// (names matching kind*/key*, string-valued) whose values are not in
+// the intern table.
+func (p *ModulePass) checkVocabCoverage(pkg *Package, vocab map[string]bool) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !isVocabConstName(name.Name) {
+						continue
+					}
+					c, ok := pkg.Info.Defs[name].(*types.Const)
+					if !ok || c.Val().Kind() != constant.String {
+						continue
+					}
+					if val := constant.StringVal(c.Val()); !vocab[val] {
+						p.Reportf(name.Pos(), "protocol vocabulary: %s = %q is not in the codec "+
+							"intern table (encodes direct-form on every message — add it to vocab)",
+							name.Name, val)
+					}
+				}
+			}
+		}
+	}
+}
+
+// isVocabConstName reports whether the constant name follows the
+// protocol vocabulary convention: kindFoo or keyFoo.
+func isVocabConstName(name string) bool {
+	for _, prefix := range []string{"kind", "key"} {
+		rest, ok := strings.CutPrefix(name, prefix)
+		if ok && rest != "" && rest[0] >= 'A' && rest[0] <= 'Z' {
+			return true
+		}
+	}
+	return false
+}

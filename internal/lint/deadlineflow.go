@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// DeadlineFlow is the interprocedural deadline-propagation rule: every
+// raw network operation (Transport.Call, net.Conn writes) reachable
+// from an engine phase must flow through the fl retry layer — the
+// functions that bound each attempt with a watchdog timeout and
+// bounded backoff — or carry an explicit deadline of its own.
+//
+// The rule explores the shared module call graph from the configured
+// roots (the engine phases and orchestration entry points; phase
+// functions are dispatched through a package-level table, so they have
+// no incoming edges and must be named explicitly). Exploration stops
+// at the configured safe functions: anything a safe function does is,
+// by construction, deadline-protected. A sink call site discovered on
+// an unprotected path is reported with the full root→…→sink chain,
+// mirroring privacyflow's source→sink diagnostics.
+var DeadlineFlow = &Analyzer{
+	Name: "deadlineflow",
+	Doc: "network calls reachable from an engine phase must go through the fl " +
+		"retry layer (CallWithPolicy/BroadcastQuorum) or carry an explicit deadline",
+	RunModule: runDeadlineFlow,
+}
+
+// dfVisit is one node on a breadth-first path from a deadlineflow root,
+// with enough back-links to reconstruct the chain at a sink.
+type dfVisit struct {
+	node *CallNode
+	prev *dfVisit
+	// site is the call site in prev that reached node (NoPos for
+	// roots, which are entered directly).
+	site token.Pos
+}
+
+func runDeadlineFlow(p *ModulePass) {
+	if len(p.Config.DeadlineRoots) == 0 || len(p.Config.DeadlineSinkFuncs) == 0 {
+		return
+	}
+	cg := p.graph()
+
+	var queue []*dfVisit
+	for _, n := range cg.Nodes() { // Nodes() is sorted: deterministic root order
+		if p.Config.DeadlineRoots[n.Name()] {
+			queue = append(queue, &dfVisit{node: n})
+		}
+	}
+
+	// Breadth-first over all edge kinds, keeping the first (shortest)
+	// path to each node. Safe functions are visited — a sink site
+	// lexically inside them is fine — but never expanded.
+	seen := map[*CallNode]bool{}
+	reported := map[token.Pos]bool{}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v.node == nil || seen[v.node] {
+			continue
+		}
+		seen[v.node] = true
+		if p.Config.DeadlineSafeFuncs[v.node.Name()] {
+			continue
+		}
+		p.scanDeadlineSinks(v, reported)
+		for _, e := range v.node.Out {
+			if !seen[e.Callee] {
+				queue = append(queue, &dfVisit{node: e.Callee, prev: v, site: e.Site})
+			}
+		}
+	}
+}
+
+// scanDeadlineSinks reports every sink call site in the visited
+// function, attaching the root→…→sink chain.
+func (p *ModulePass) scanDeadlineSinks(v *dfVisit, reported map[token.Pos]bool) {
+	info := v.node.Pkg.Info
+	ast.Inspect(v.node.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || !p.Config.DeadlineSinkFuncs[fn.Origin().FullName()] {
+			return true
+		}
+		if reported[call.Pos()] {
+			return true
+		}
+		reported[call.Pos()] = true
+
+		chain := p.deadlineChain(v, fn.Name(), call.Pos())
+		root := chain[0]
+		if i := strings.IndexByte(root, ' '); i > 0 {
+			root = root[:i]
+		}
+		p.ReportChain(call.Pos(), chain,
+			"network call %s is reachable from engine root %s without passing "+
+				"the fl retry layer or an explicit deadline (chain: %s)",
+			fn.Name(), root, strings.Join(chain, " -> "))
+		return true
+	})
+}
+
+// deadlineChain renders the root→…→sink path in privacyflow's
+// "name (file:line)" form: the root at its declaration, each hop at
+// the call site that reached it, the sink at the offending call.
+func (p *ModulePass) deadlineChain(v *dfVisit, sinkName string, sinkPos token.Pos) []string {
+	var hops []*dfVisit
+	for cur := v; cur != nil; cur = cur.prev {
+		hops = append(hops, cur)
+	}
+	for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 { // reverse: root first
+		hops[i], hops[j] = hops[j], hops[i]
+	}
+
+	var chain []string
+	for _, h := range hops {
+		pos := h.site
+		if pos == token.NoPos {
+			pos = h.node.Decl.Pos()
+		}
+		chain = append(chain, fmt.Sprintf("%s (%s)", shortFuncName(h.node), p.shortPos(pos)))
+	}
+	return append(chain, fmt.Sprintf("%s (%s)", sinkName, p.shortPos(sinkPos)))
+}
+
+// shortFuncName renders "Recv.Name" or "Name" without the package
+// path, for chain readability.
+func shortFuncName(n *CallNode) string {
+	if recv := n.Decl.Recv; recv != nil && len(recv.List) > 0 {
+		t := recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return id.Name + "." + n.Fn.Name()
+		}
+	}
+	return n.Fn.Name()
+}
+
+// shortPos renders "file.go:line" for chain entries.
+func (p *ModulePass) shortPos(pos token.Pos) string {
+	position := p.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(position.Filename), position.Line)
+}

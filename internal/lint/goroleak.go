@@ -1,0 +1,359 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak flags goroutines whose blocking channel operations have no
+// visible termination path. A `go func(){...}()` that sends or
+// receives on an unbuffered channel blocks forever — leaking the
+// goroutine and whatever it pins — unless something guarantees the
+// peer side acts. The rule accepts the repository's sanctioned
+// lifecycle idioms as evidence of termination:
+//
+//   - buffered escape: the channel is made with a non-zero capacity,
+//     so the send completes even if the result is never collected (the
+//     retry layer's watchdog pattern);
+//   - collect-then-signal: the spawning function receives from (or
+//     ranges over) the channel the goroutine sends to — fan-out with a
+//     drain loop (Server.Broadcast);
+//   - close-signaled worker: the goroutine ranges over / receives from
+//     a channel the spawning function closes (worker pools);
+//   - semaphore: the goroutine receives from a channel the spawning
+//     function sends to (bounded-parallelism slots);
+//   - escaping select: the blocking op sits in a select with a default
+//     case, a ctx.Done()/timer case, or a case whose channel the
+//     spawning function closes or feeds (shutdown watchers).
+//
+// Goroutines with no channel operations at all (pure WaitGroup
+// workers) are never flagged: WaitGroup pairing is checked by the
+// runtime, not by this rule. The analysis is intraprocedural — only
+// `go` statements with a function literal are examined, and evidence
+// is gathered from the enclosing function declaration.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "goroutine channel sends/receives need a termination path: a buffered " +
+		"channel, a draining/closing spawner, or a select with a done/ctx case",
+	Run: runGoroLeak,
+}
+
+// chanEvidence summarizes what the spawning function does with each
+// channel object, gathered outside the goroutine literal under test.
+type chanEvidence struct {
+	buffered map[types.Object]bool // made with non-zero capacity (anywhere)
+	closed   map[types.Object]bool // close(ch) by the spawner (incl. deferred)
+	sent     map[types.Object]bool // ch <- v by the spawner
+	received map[types.Object]bool // <-ch or range ch by the spawner
+}
+
+func runGoroLeak(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(node ast.Node) bool {
+				gs, ok := node.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+				if !ok {
+					return true // named-function goroutine: body not local
+				}
+				ev := p.gatherChanEvidence(fd.Body, lit)
+				p.checkGoroutineBody(lit, ev)
+				return true
+			})
+		}
+	}
+}
+
+// gatherChanEvidence scans the spawning function's body — excluding
+// the goroutine literal under test — for channel closes, sends, and
+// receives. Buffered-ness is gathered everywhere, including inside the
+// literal: capacity is a property of the channel, not of who made it.
+func (p *Pass) gatherChanEvidence(body *ast.BlockStmt, skip *ast.FuncLit) chanEvidence {
+	ev := chanEvidence{
+		buffered: map[types.Object]bool{},
+		closed:   map[types.Object]bool{},
+		sent:     map[types.Object]bool{},
+		received: map[types.Object]bool{},
+	}
+	ast.Inspect(body, func(node ast.Node) bool {
+		if node == skip {
+			// Drain/close/send inside the blocked goroutine itself cannot
+			// unblock it — record only channel makes from its body.
+			ast.Inspect(skip.Body, func(inner ast.Node) bool {
+				p.recordChanMakes(inner, ev.buffered)
+				return true
+			})
+			return false
+		}
+		p.recordChanMakes(node, ev.buffered)
+		switch n := node.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if _, isBuiltin := p.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					if obj := p.chanObj(n.Args[0]); obj != nil {
+						ev.closed[obj] = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if obj := p.chanObj(n.Chan); obj != nil {
+				ev.sent[obj] = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if obj := p.chanObj(n.X); obj != nil {
+					ev.received[obj] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if p.chanTyped(n.X) {
+				if obj := p.chanObj(n.X); obj != nil {
+					ev.received[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return ev
+}
+
+// recordChanMakes notes `ch := make(chan T, n)` (and the var-decl
+// form) with a capacity other than the constant zero, keyed by the
+// assigned channel object.
+func (p *Pass) recordChanMakes(node ast.Node, buffered map[types.Object]bool) {
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !p.isBufferedChanMake(call) {
+			return
+		}
+		if obj := p.chanObj(lhs); obj != nil {
+			buffered[obj] = true
+		}
+	}
+	switch n := node.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i := range n.Rhs {
+				record(n.Lhs[i], n.Rhs[i])
+			}
+		}
+	case *ast.ValueSpec:
+		if len(n.Names) == len(n.Values) {
+			for i := range n.Values {
+				record(n.Names[i], n.Values[i])
+			}
+		}
+	}
+}
+
+// isBufferedChanMake reports whether call is make(chan T, n) with n
+// not provably zero.
+func (p *Pass) isBufferedChanMake(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" || len(call.Args) < 2 {
+		return false
+	}
+	if _, isBuiltin := p.Pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if t := p.Pkg.Info.Types[call.Args[0]].Type; t != nil {
+		if _, isChan := t.Underlying().(*types.Chan); !isChan {
+			return false
+		}
+	}
+	if tv, ok := p.Pkg.Info.Types[call.Args[1]]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact && v == 0 {
+			return false // make(chan T, 0) is unbuffered
+		}
+	}
+	return true
+}
+
+// chanObj resolves the channel-valued expression to the object it
+// names: a plain identifier or a struct-field selector. Nil for
+// anything more indirect (call results, map/slice elements).
+func (p *Pass) chanObj(e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := p.Pkg.Info.Uses[x]; obj != nil {
+			return obj
+		}
+		return p.Pkg.Info.Defs[x]
+	case *ast.SelectorExpr:
+		if s := p.Pkg.Info.Selections[x]; s != nil && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+	}
+	return nil
+}
+
+// chanTyped reports whether e has channel type.
+func (p *Pass) chanTyped(e ast.Expr) bool {
+	t := p.Pkg.Info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// checkGoroutineBody reports the blocking channel operations of one
+// goroutine literal that carry no termination evidence.
+func (p *Pass) checkGoroutineBody(lit *ast.FuncLit, ev chanEvidence) {
+	// Operations that are the comm clause of a select are judged with
+	// the whole select, not individually.
+	inSelect := map[ast.Node]bool{}
+	ast.Inspect(lit.Body, func(node ast.Node) bool {
+		sel, ok := node.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			inSelect[cc.Comm] = true
+			switch c := cc.Comm.(type) {
+			case *ast.ExprStmt:
+				inSelect[ast.Unparen(c.X)] = true
+			case *ast.AssignStmt:
+				if len(c.Rhs) == 1 {
+					inSelect[ast.Unparen(c.Rhs[0])] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(lit.Body, func(node ast.Node) bool {
+		// A goroutine spawned inside this one is analyzed on its own by
+		// the enclosing walk — do not double-report its body here.
+		if gs, ok := node.(*ast.GoStmt); ok {
+			if _, isLit := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); isLit {
+				return false
+			}
+			return true
+		}
+		switch n := node.(type) {
+		case *ast.SelectStmt:
+			if !p.selectEscapes(n, ev) {
+				p.Reportf(n.Pos(), "goroutine select has no termination case: add a default, "+
+					"a ctx.Done()/timer case, or a case on a channel the spawner closes")
+			}
+		case *ast.SendStmt:
+			if inSelect[n] {
+				return true
+			}
+			if obj := p.chanObj(n.Chan); obj != nil && (ev.buffered[obj] || ev.received[obj]) {
+				return true
+			}
+			p.Reportf(n.Pos(), "goroutine may block forever on send to %s: the channel is "+
+				"unbuffered and the spawning function never receives from it", types.ExprString(n.Chan))
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW || inSelect[n] {
+				return true
+			}
+			if p.receiveTerminates(n.X, ev) {
+				return true
+			}
+			p.Reportf(n.Pos(), "goroutine may block forever on receive from %s: the spawning "+
+				"function never closes or sends on it", types.ExprString(n.X))
+		case *ast.RangeStmt:
+			if !p.chanTyped(n.X) {
+				return true
+			}
+			if p.receiveTerminates(n.X, ev) {
+				return true
+			}
+			p.Reportf(n.X.Pos(), "goroutine may range forever over %s: the spawning function "+
+				"never closes it", types.ExprString(n.X))
+		}
+		return true
+	})
+}
+
+// receiveTerminates reports whether a receive from e has termination
+// evidence: the spawner closes or feeds the channel, or the channel is
+// a context-done/timer channel that fires on its own.
+func (p *Pass) receiveTerminates(e ast.Expr, ev chanEvidence) bool {
+	if p.isCtxDone(e) || p.isTimerChan(e) {
+		return true
+	}
+	obj := p.chanObj(e)
+	return obj != nil && (ev.closed[obj] || ev.sent[obj])
+}
+
+// selectEscapes reports whether a select statement has at least one
+// case guaranteed to become ready: a default case, a receive on a
+// ctx.Done()/timer channel, a receive on a channel the spawner closes
+// or feeds, or a send on a buffered/drained channel.
+func (p *Pass) selectEscapes(sel *ast.SelectStmt, ev chanEvidence) bool {
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default case
+		}
+		switch c := cc.Comm.(type) {
+		case *ast.SendStmt:
+			if obj := p.chanObj(c.Chan); obj != nil && (ev.buffered[obj] || ev.received[obj]) {
+				return true
+			}
+		case *ast.ExprStmt:
+			if recv, ok := ast.Unparen(c.X).(*ast.UnaryExpr); ok && recv.Op == token.ARROW &&
+				p.receiveTerminates(recv.X, ev) {
+				return true
+			}
+		case *ast.AssignStmt:
+			if len(c.Rhs) == 1 {
+				if recv, ok := ast.Unparen(c.Rhs[0]).(*ast.UnaryExpr); ok && recv.Op == token.ARROW &&
+					p.receiveTerminates(recv.X, ev) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isCtxDone reports whether e is a context.Context.Done() call.
+func (p *Pass) isCtxDone(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(p.Pkg.Info, call)
+	return fn != nil && fn.FullName() == "(context.Context).Done"
+}
+
+// isTimerChan reports whether e's type is a channel of time.Time —
+// time.After results and Timer/Ticker C fields, which fire on their
+// own.
+func (p *Pass) isTimerChan(e ast.Expr) bool {
+	t := p.Pkg.Info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	named, ok := ch.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Time"
+}

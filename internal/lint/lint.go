@@ -10,20 +10,27 @@
 // analyzers turn that discipline from reviewer vigilance into a build
 // gate:
 //
-//	seededrand  all randomness flows through an injected *rand.Rand
-//	floateq     no ==/!= between computed floating-point values
-//	errdrop     no silently discarded error returns
-//	panicfree   no panic/os.Exit/log.Fatal in library packages
-//	walltime    no wall-clock reads in deterministic algorithm packages
-//	maporder    no map iteration order reaching order-sensitive state
-//	privacyflow no raw series data crossing the federated boundary
+//	seededrand   all randomness flows through an injected *rand.Rand
+//	floateq      no ==/!= between computed floating-point values
+//	errdrop      no silently discarded error returns
+//	panicfree    no panic/os.Exit/log.Fatal in library packages
+//	walltime     no wall-clock reads in deterministic algorithm packages
+//	maporder     no map iteration order reaching order-sensitive state
+//	goroleak     no goroutine blocked on a channel with no termination path
+//	privacyflow  no raw series data crossing the federated boundary
+//	lockguard    `// guarded by <mu>` fields accessed only under their mutex
+//	deadlineflow engine-phase network calls go through the fl retry layer
+//	codeccover   wire-format schema drift and un-interned protocol vocabulary
 //
-// The first five are intraprocedural and run per package. privacyflow
-// is interprocedural: it builds a module-wide call graph (callgraph.go)
-// with type-based resolution of interface calls, then runs a
-// field-sensitive taint analysis (taint.go) from raw-series sources to
-// fl.Message sinks, with an allowlist of aggregating sanitizers — the
-// paper's privacy model checked as code.
+// The intraprocedural rules (seededrand through goroleak) run per
+// package. The rest are interprocedural: they share a module-wide call
+// graph (callgraph.go) with type-based resolution of interface calls.
+// privacyflow runs a field-sensitive taint analysis (taint.go) from
+// raw-series sources to fl.Message sinks, with an allowlist of
+// aggregating sanitizers — the paper's privacy model checked as code.
+// lockguard, deadlineflow, and codeccover encode the concurrency and
+// wire-format policy the same way (see DESIGN.md "Concurrency policy
+// as code").
 //
 // Deliberate violations are annotated in the source with
 //
@@ -113,6 +120,33 @@ type Config struct {
 	// iteration order: a map-range loop that only appends to a slice
 	// later passed to one of these is the sanctioned sorted-keys idiom.
 	MapOrderSortFuncs map[string]bool
+
+	// DeadlineRoots names the engine-phase entry points (FullName form)
+	// from which the deadlineflow rule explores the call graph. Phase
+	// functions are referenced only from package-level var tables —
+	// never called from another function body — so they have no
+	// incoming call-graph edges and must be listed explicitly.
+	DeadlineRoots map[string]bool
+	// DeadlineSafeFuncs names the retry-layer functions (FullName form)
+	// that bound every call they make with deadlines and bounded retry.
+	// deadlineflow does not descend into them: a network call inside a
+	// safe function is, by construction, deadline-protected.
+	DeadlineSafeFuncs map[string]bool
+	// DeadlineSinkFuncs names the raw network operations (FullName
+	// form, interface methods included): reaching one of these from a
+	// root without passing through a safe function is a finding.
+	DeadlineSinkFuncs map[string]bool
+
+	// CodecPkgs names the wire-format packages the codeccover rule
+	// audits: each must keep every exported field of its Message struct
+	// reachable from both Encode and Decode, and may define the `vocab`
+	// intern table.
+	CodecPkgs map[string]bool
+	// CodecVocabPkgs names the packages whose protocol vocabulary
+	// constants (names matching kind*/key*) must be interned in a
+	// CodecPkgs vocab table — an un-interned kind silently falls back
+	// to costly direct-form string encoding on every message.
+	CodecVocabPkgs map[string]bool
 }
 
 // DefaultConfig returns the FedForecaster policy: walltime applies to
@@ -194,6 +228,42 @@ func DefaultConfig(modulePath string) Config {
 			"(*" + modulePath + "/internal/timeseries.Series).MissingFraction": true,
 		},
 		MapOrderSortFuncs: mapOrderSortFuncs(),
+		DeadlineRoots: map[string]bool{
+			// The five engine phases: dispatched through the package-level
+			// phase table, so the call graph has no edges into them.
+			modulePath + "/internal/core.runPhaseMetaFeatures":  true,
+			modulePath + "/internal/core.runPhaseRecommend":     true,
+			modulePath + "/internal/core.runPhaseFeatureSelect": true,
+			modulePath + "/internal/core.runPhaseOptimize":      true,
+			modulePath + "/internal/core.runPhaseFinalFit":      true,
+			// Orchestration entry points above the phase table.
+			"(*" + modulePath + "/internal/core.Engine).Run":            true,
+			"(*" + modulePath + "/internal/core.Engine).RunWithServer":  true,
+			"(*" + modulePath + "/internal/core.AdaptiveRunner).Deploy": true,
+			"(*" + modulePath + "/internal/core.AdaptiveRunner).Check":  true,
+		},
+		DeadlineSafeFuncs: map[string]bool{
+			// The retry layer: per-attempt watchdog timeouts, bounded
+			// backoff, quorum accounting (see DESIGN.md "Concurrency
+			// policy as code" for why these — and only these — may touch
+			// the transport from engine code).
+			modulePath + "/internal/fl.CallWithPolicy":                  true,
+			modulePath + "/internal/fl.callWithPolicy":                  true,
+			"(*" + modulePath + "/internal/fl.Server).BroadcastQuorum":  true,
+			"(*" + modulePath + "/internal/fl.Server).CallSubsetQuorum": true,
+			// Carries its own per-call SetDeadline on the socket.
+			"(*" + modulePath + "/internal/fl.TCPTransport).Call": true,
+		},
+		DeadlineSinkFuncs: map[string]bool{
+			"(" + modulePath + "/internal/fl.Transport).Call": true,
+			"(net.Conn).Write": true,
+		},
+		CodecPkgs: map[string]bool{
+			modulePath + "/internal/fl/codec": true,
+		},
+		CodecVocabPkgs: map[string]bool{
+			modulePath + "/internal/core": true,
+		},
 	}
 }
 
@@ -211,10 +281,12 @@ func mapOrderSortFuncs() map[string]bool {
 // FixtureConfig returns the policy the golden fixtures (and the
 // -fixture CLI mode) are linted under: the default config with every
 // given fixture import path registered as a walltime-scoped package
-// and bound to the fixture privacy conventions — a fixture package may
-// declare `Series` (source type), `Message` (sink type), `Send` (sink
-// function), and `Aggregate` (sanitizer) to exercise privacyflow
-// without importing the real module packages.
+// and bound to the fixture conventions — a fixture package may declare
+// `Series` (privacy source type), `Message` (privacy sink type, and
+// codec schema struct), `Send` (privacy sink function), `Aggregate`
+// (sanitizer), `RunPhase` (deadlineflow root), `CallSafe` (deadlineflow
+// retry layer), and `NetCall` (deadlineflow sink) to exercise the
+// interprocedural rules without importing the real module packages.
 func FixtureConfig(importPaths ...string) Config {
 	cfg := DefaultConfig("fixture")
 	for _, ip := range importPaths {
@@ -224,6 +296,11 @@ func FixtureConfig(importPaths ...string) Config {
 		cfg.PrivacySinkTypes[ip+".Message"] = true
 		cfg.PrivacySinkFuncs[ip+".Send"] = true
 		cfg.PrivacySanitizers[ip+".Aggregate"] = true
+		cfg.DeadlineRoots[ip+".RunPhase"] = true
+		cfg.DeadlineSafeFuncs[ip+".CallSafe"] = true
+		cfg.DeadlineSinkFuncs[ip+".NetCall"] = true
+		cfg.CodecPkgs[ip] = true
+		cfg.CodecVocabPkgs[ip] = true
 	}
 	return cfg
 }
@@ -276,11 +353,24 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // ModulePass hands the whole run — every type-checked package — to a
 // module-level analyzer.
 type ModulePass struct {
-	Fset     *token.FileSet
-	Pkgs     []*Package
-	Config   Config
+	Fset   *token.FileSet
+	Pkgs   []*Package
+	Config Config
+	// Graph is the module-wide call graph, built once per Run and
+	// shared by every module-level rule. May be nil when a ModulePass
+	// is constructed by hand; use graph() to get a lazily-built one.
+	Graph    *CallGraph
 	rule     string
 	findings []Finding
+}
+
+// graph returns the shared call graph, building it on first use when
+// the pass was constructed without one.
+func (p *ModulePass) graph() *CallGraph {
+	if p.Graph == nil {
+		p.Graph = BuildCallGraph(p.Fset, p.Pkgs)
+	}
+	return p.Graph
 }
 
 // Reportf records a diagnostic at pos.
@@ -304,9 +394,12 @@ func (p *ModulePass) ReportChain(pos token.Pos, chain []string, format string, a
 }
 
 // Analyzers returns the full registry in a fixed order: the
-// per-package rules first, then the module-level privacy rule.
+// per-package rules first, then the module-level rules.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{SeededRand, FloatEq, ErrDrop, PanicFree, Walltime, MapOrder, PrivacyFlow}
+	return []*Analyzer{
+		SeededRand, FloatEq, ErrDrop, PanicFree, Walltime, MapOrder, GoroLeak,
+		PrivacyFlow, LockGuard, DeadlineFlow, CodecCover,
+	}
 }
 
 // Run executes the analyzers over every package — per-package rules
@@ -345,11 +438,20 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, cfg Config
 	}
 
 	merged := mergeSuppressions(sups)
+	// The call graph is shared by every module-level rule: built once,
+	// read-only afterwards.
+	var graph *CallGraph
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			graph = BuildCallGraph(fset, pkgs)
+			break
+		}
+	}
 	for _, a := range analyzers {
 		if a.RunModule == nil {
 			continue
 		}
-		mp := &ModulePass{Fset: fset, Pkgs: pkgs, Config: cfg, rule: a.Name}
+		mp := &ModulePass{Fset: fset, Pkgs: pkgs, Config: cfg, Graph: graph, rule: a.Name}
 		a.RunModule(mp)
 		for _, f := range mp.findings {
 			if merged.allowed(f.Pos, f.Rule) {

@@ -27,7 +27,10 @@ type expectation struct {
 
 // fixtureRules are the analyzer fixtures under testdata/src, one
 // directory per rule.
-var fixtureRules = []string{"seededrand", "floateq", "errdrop", "panicfree", "walltime", "maporder", "privacyflow"}
+var fixtureRules = []string{
+	"seededrand", "floateq", "errdrop", "panicfree", "walltime", "maporder",
+	"goroleak", "privacyflow", "lockguard", "deadlineflow", "codeccover",
+}
 
 // loadFixture parses and type-checks testdata/src/<name> under the
 // import path fixture/<name>.
@@ -137,7 +140,11 @@ func TestExactPositions(t *testing.T) {
 		{"panicfree", `panic("negative")`, "panic"},
 		{"walltime", "return time.Now() // want", "Now"},
 		{"maporder", `range m { // want maporder "float accumulation"`, "for"},
+		{"goroleak", "ch <- 1 // want", "ch"},
 		{"privacyflow", `m.Floats["raw"] = n.data.Values`, "m.Floats"},
+		{"lockguard", "c.n++ // want", "c.n"},
+		{"deadlineflow", `return NetCall(req + "!")`, "NetCall"},
+		{"codeccover", `kindMissing = "props/missing"`, "kindMissing"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {

@@ -1,0 +1,726 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// LockGuard is the annotation-driven mutex-discipline rule. Struct
+// fields annotated with a `guarded by <mu>` comment — where <mu> names
+// a sibling sync.Mutex/sync.RWMutex field — may only be read while the
+// mutex is held (read or write mode) and only be written while it is
+// held in write mode. The rule tracks the held-lock set through each
+// function body: Lock/RLock acquire, Unlock/RUnlock release, deferred
+// unlocks hold to the end, branches merge by intersection (a lock held
+// on only one path does not count), and function literals start with
+// an empty set (a closure may run on another goroutine).
+//
+// Two conventions extend the discipline across calls:
+//
+//   - lock-qualified helpers: a method whose name ends in "Locked", or
+//     whose doc comment says "callers hold <x>.<mu>", is analyzed with
+//     that mutex assumed held — and every call site is checked to
+//     actually hold it;
+//   - unlock-without-lock and mutex copies (a mutex value assigned,
+//     passed, returned, or a guarded struct copied by dereference) are
+//     reported unconditionally.
+//
+// The grammar and the module's annotated fields are catalogued in
+// DESIGN.md "Concurrency policy as code".
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc: "fields annotated `guarded by <mu>` must be accessed with the mutex " +
+		"held (write mode for writes); plus mutex-copy and unlock-without-lock checks",
+	RunModule: runLockGuard,
+}
+
+var (
+	guardedByRe   = regexp.MustCompile(`guarded by ([A-Za-z_]\w*)`)
+	callersHoldRe = regexp.MustCompile(`(?i)callers?\s+holds?\s+([A-Za-z_]\w*)\.([A-Za-z_]\w*)`)
+	lockedNameRe  = regexp.MustCompile(`Locked$`)
+)
+
+// lockMode is how strongly a mutex is held.
+type lockMode int
+
+const (
+	modeNone  lockMode = iota
+	modeRead           // RLock
+	modeWrite          // Lock (or a plain Mutex, which has no read mode)
+)
+
+// lockState maps "base.mu" keys (types.ExprString of the receiver
+// expression plus the mutex field name) to the held mode.
+type lockState map[string]lockMode
+
+func (st lockState) clone() lockState {
+	out := make(lockState, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+// intersect keeps the locks held in every state, at the weakest mode.
+func intersect(states []lockState) lockState {
+	if len(states) == 0 {
+		return lockState{}
+	}
+	out := states[0].clone()
+	for _, st := range states[1:] {
+		for k, v := range out {
+			if st[k] < v {
+				if st[k] == modeNone {
+					delete(out, k)
+				} else {
+					out[k] = st[k]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// guardInfo is one annotated field's discipline.
+type guardInfo struct {
+	mu string // sibling mutex field name
+}
+
+// lockAssume is one lock-qualified function assumption: the mutex
+// field assumedMu on the variable bound to slot (receiver or
+// parameter) is held when the function runs.
+type lockAssume struct {
+	slot     int    // -1 = receiver, otherwise parameter index
+	declName string // the receiver/parameter name in the declaration
+	mu       string
+}
+
+// lockguardPass carries the module-wide annotation tables.
+type lockguardPass struct {
+	p      *ModulePass
+	guards map[*types.Var]guardInfo
+	// lockedFuncs maps a lock-qualified function to its assumptions.
+	lockedFuncs map[*types.Func][]lockAssume
+}
+
+func runLockGuard(p *ModulePass) {
+	lg := &lockguardPass{
+		p:           p,
+		guards:      map[*types.Var]guardInfo{},
+		lockedFuncs: map[*types.Func][]lockAssume{},
+	}
+	for _, pkg := range p.Pkgs {
+		lg.collectAnnotations(pkg)
+	}
+	for _, pkg := range p.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					lg.checkFunc(pkg, fd)
+				}
+			}
+		}
+	}
+}
+
+// collectAnnotations gathers `guarded by` field annotations and
+// lock-qualified functions from one package.
+func (lg *lockguardPass) collectAnnotations(pkg *Package) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if st, ok := ts.Type.(*ast.StructType); ok {
+						lg.collectStructGuards(pkg, st)
+					}
+				}
+			case *ast.FuncDecl:
+				lg.collectLockQualified(pkg, d)
+			}
+		}
+	}
+}
+
+// collectStructGuards records every `guarded by <mu>` annotation in
+// one struct type, verifying that <mu> names a sibling mutex field.
+func (lg *lockguardPass) collectStructGuards(pkg *Package, st *ast.StructType) {
+	// Sibling mutex fields, by name.
+	mutexes := map[string]bool{}
+	for _, f := range st.Fields.List {
+		if t := pkg.Info.Types[f.Type].Type; t != nil {
+			if ok, _ := isMutexType(t); ok {
+				for _, name := range f.Names {
+					mutexes[name.Name] = true
+				}
+			}
+		}
+	}
+	for _, f := range st.Fields.List {
+		text := ""
+		if f.Doc != nil {
+			text += f.Doc.Text()
+		}
+		if f.Comment != nil {
+			text += " " + f.Comment.Text()
+		}
+		m := guardedByRe.FindStringSubmatch(text)
+		if m == nil {
+			continue
+		}
+		mu := m[1]
+		if !mutexes[mu] {
+			lg.p.Reportf(f.Pos(), "guarded-by annotation names %q, which is not a sibling "+
+				"sync.Mutex/RWMutex field of this struct", mu)
+			continue
+		}
+		for _, name := range f.Names {
+			if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+				lg.guards[v] = guardInfo{mu: mu}
+			}
+		}
+	}
+}
+
+// collectLockQualified records a function's held-lock assumptions: a
+// doc comment "callers hold <x>.<mu>" binds explicitly; a name ending
+// in "Locked" assumes every mutex field of the receiver.
+func (lg *lockguardPass) collectLockQualified(pkg *Package, fd *ast.FuncDecl) {
+	fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	slotOf := func(name string) (int, bool) {
+		if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 &&
+			fd.Recv.List[0].Names[0].Name == name {
+			return -1, true
+		}
+		if fd.Type.Params != nil {
+			i := 0
+			for _, f := range fd.Type.Params.List {
+				for _, n := range f.Names {
+					if n.Name == name {
+						return i, true
+					}
+					i++
+				}
+			}
+		}
+		return 0, false
+	}
+
+	var assumes []lockAssume
+	if fd.Doc != nil {
+		for _, m := range callersHoldRe.FindAllStringSubmatch(fd.Doc.Text(), -1) {
+			if slot, ok := slotOf(m[1]); ok {
+				assumes = append(assumes, lockAssume{slot: slot, declName: m[1], mu: m[2]})
+			}
+		}
+	}
+	if len(assumes) == 0 && lockedNameRe.MatchString(fd.Name.Name) &&
+		fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		recvName := fd.Recv.List[0].Names[0].Name
+		for _, mu := range receiverMutexFields(pkg, fd) {
+			assumes = append(assumes, lockAssume{slot: -1, declName: recvName, mu: mu})
+		}
+	}
+	if len(assumes) > 0 {
+		lg.lockedFuncs[fn.Origin()] = assumes
+	}
+}
+
+// receiverMutexFields lists the mutex-typed field names of fd's
+// receiver struct, in declaration order.
+func receiverMutexFields(pkg *Package, fd *ast.FuncDecl) []string {
+	recv := fd.Recv.List[0]
+	t := pkg.Info.Types[recv.Type].Type
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		if ok, _ := isMutexType(st.Field(i).Type()); ok {
+			out = append(out, st.Field(i).Name())
+		}
+	}
+	return out
+}
+
+// isMutexType reports whether t (or its pointee) is sync.Mutex or
+// sync.RWMutex, and whether it is the RW variant.
+func isMutexType(t types.Type) (mutex, rw bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return true, false
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// funcWalker analyzes one function body with a flow-sensitive held-
+// lock set.
+type funcWalker struct {
+	lg   *lockguardPass
+	pkg  *Package
+	info *types.Info
+}
+
+// checkFunc analyzes one declared function, seeding the held set from
+// its lock-qualification assumptions.
+func (lg *lockguardPass) checkFunc(pkg *Package, fd *ast.FuncDecl) {
+	w := &funcWalker{lg: lg, pkg: pkg, info: pkg.Info}
+	st := lockState{}
+	if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+		for _, a := range lg.lockedFuncs[fn.Origin()] {
+			st[a.declName+"."+a.mu] = modeWrite
+		}
+	}
+	w.block(fd.Body.List, st)
+}
+
+// block walks a statement list, mutating st, and reports whether every
+// path through it terminates (return/branch).
+func (w *funcWalker) block(stmts []ast.Stmt, st lockState) bool {
+	for _, s := range stmts {
+		if w.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt processes one statement against st; true means control does not
+// continue past it on this path.
+func (w *funcWalker) stmt(s ast.Stmt, st lockState) bool {
+	switch n := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+			if key, op, ok := w.mutexOp(call); ok {
+				w.applyMutexOp(call, key, op, st, false)
+				return false
+			}
+		}
+		w.scanExpr(n.X, st, false)
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			w.checkMutexCopy(rhs)
+			w.scanExpr(rhs, st, false)
+		}
+		for _, lhs := range n.Lhs {
+			w.scanExpr(lhs, st, true)
+		}
+	case *ast.IncDecStmt:
+		w.scanExpr(n.X, st, true)
+	case *ast.DeferStmt:
+		if key, op, ok := w.mutexOp(n.Call); ok {
+			// A deferred unlock runs at return: the lock stays held for
+			// the rest of the body. A deferred lock is nonsense; ignore.
+			w.applyMutexOp(n.Call, key, op, st, true)
+			return false
+		}
+		w.scanExpr(n.Call, st, false)
+	case *ast.GoStmt:
+		w.scanExpr(n.Call, st, false)
+	case *ast.SendStmt:
+		w.scanExpr(n.Chan, st, false)
+		w.scanExpr(n.Value, st, false)
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			w.checkMutexCopy(r)
+			w.scanExpr(r, st, false)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true // break/continue/goto: state does not flow onward here
+	case *ast.BlockStmt:
+		return w.block(n.List, st)
+	case *ast.LabeledStmt:
+		return w.stmt(n.Stmt, st)
+	case *ast.IfStmt:
+		return w.ifStmt(n, st)
+	case *ast.ForStmt:
+		if n.Init != nil {
+			w.stmt(n.Init, st)
+		}
+		if n.Cond != nil {
+			w.scanExpr(n.Cond, st, false)
+		}
+		body := st.clone()
+		term := w.block(n.Body.List, body)
+		if n.Post != nil {
+			w.stmt(n.Post, body)
+		}
+		if !term {
+			w.mergeInto(st, body)
+		}
+	case *ast.RangeStmt:
+		w.scanExpr(n.X, st, false)
+		body := st.clone()
+		if !w.block(n.Body.List, body) {
+			w.mergeInto(st, body)
+		}
+	case *ast.SwitchStmt:
+		if n.Init != nil {
+			w.stmt(n.Init, st)
+		}
+		if n.Tag != nil {
+			w.scanExpr(n.Tag, st, false)
+		}
+		w.caseClauses(n.Body, st)
+	case *ast.TypeSwitchStmt:
+		if n.Init != nil {
+			w.stmt(n.Init, st)
+		}
+		w.stmt(n.Assign, st)
+		w.caseClauses(n.Body, st)
+	case *ast.SelectStmt:
+		for _, clause := range n.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			sub := st.clone()
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, sub)
+			}
+			w.block(cc.Body, sub)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.checkMutexCopy(v)
+						w.scanExpr(v, st, false)
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// ifStmt analyzes both branches on copies of st and merges the
+// non-terminating exits by intersection. An early-return branch (the
+// unlock-and-bail idiom) contributes nothing to the merged state.
+func (w *funcWalker) ifStmt(n *ast.IfStmt, st lockState) bool {
+	if n.Init != nil {
+		w.stmt(n.Init, st)
+	}
+	w.scanExpr(n.Cond, st, false)
+
+	body := st.clone()
+	bodyTerm := w.block(n.Body.List, body)
+
+	var exits []lockState
+	if !bodyTerm {
+		exits = append(exits, body)
+	}
+	elseTerm := false
+	switch e := n.Else.(type) {
+	case nil:
+		exits = append(exits, st.clone()) // fallthrough path
+	case *ast.BlockStmt:
+		alt := st.clone()
+		elseTerm = w.block(e.List, alt)
+		if !elseTerm {
+			exits = append(exits, alt)
+		}
+	case *ast.IfStmt:
+		alt := st.clone()
+		elseTerm = w.stmt(e, alt)
+		if !elseTerm {
+			exits = append(exits, alt)
+		}
+	}
+	if len(exits) == 0 {
+		return true
+	}
+	merged := intersect(exits)
+	w.replace(st, merged)
+	return false
+}
+
+// caseClauses analyzes each case body on a copy; the merged exit is
+// the intersection of the entry state with every non-terminating case
+// exit (conservative: a lock taken inside one case does not survive).
+func (w *funcWalker) caseClauses(body *ast.BlockStmt, st lockState) {
+	exits := []lockState{st.clone()}
+	for _, clause := range body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			w.scanExpr(e, st, false)
+		}
+		sub := st.clone()
+		if !w.block(cc.Body, sub) {
+			exits = append(exits, sub)
+		}
+	}
+	w.replace(st, intersect(exits))
+}
+
+// mergeInto narrows st to its intersection with other, in place.
+func (w *funcWalker) mergeInto(st lockState, other lockState) {
+	w.replace(st, intersect([]lockState{st, other}))
+}
+
+// replace overwrites st's contents with src, in place.
+func (w *funcWalker) replace(st lockState, src lockState) {
+	for k := range st {
+		delete(st, k)
+	}
+	for k, v := range src {
+		st[k] = v
+	}
+}
+
+// mutexOp classifies a call as a mutex operation, returning the state
+// key ("base.mu") and the method name.
+func (w *funcWalker) mutexOp(call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	t := w.info.Types[sel.X].Type
+	if t == nil {
+		return "", "", false
+	}
+	if m, _ := isMutexType(t); !m {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// applyMutexOp updates st for one Lock/RLock/Unlock/RUnlock call.
+// Deferred unlocks keep the lock held (they run at return) and are
+// exempt from the unlock-without-lock check only when the lock is
+// genuinely held — `defer mu.Unlock()` right after `mu.Lock()`.
+func (w *funcWalker) applyMutexOp(call *ast.CallExpr, key, op string, st lockState, deferred bool) {
+	if deferred && (op == "Lock" || op == "RLock") {
+		return // a deferred acquire holds nothing now
+	}
+	switch op {
+	case "Lock":
+		st[key] = modeWrite
+	case "RLock":
+		if st[key] < modeRead {
+			st[key] = modeRead
+		}
+	case "Unlock", "RUnlock":
+		if st[key] == modeNone {
+			if !deferred {
+				w.lg.p.Reportf(call.Pos(), "%s.%s() but %s is not held on this path", key, op, key)
+			}
+			return
+		}
+		if !deferred {
+			delete(st, key)
+		}
+	}
+}
+
+// scanExpr reports guarded-field accesses and checks lock-qualified
+// call sites within one expression. write marks the root of an
+// assignment target: it propagates down selector/index/star chains
+// (writing c.cache.phases[k] mutates what c.cache guards).
+func (w *funcWalker) scanExpr(e ast.Expr, st lockState, write bool) {
+	switch n := ast.Unparen(e).(type) {
+	case nil:
+	case *ast.Ident, *ast.BasicLit:
+	case *ast.SelectorExpr:
+		w.checkAccess(n, st, write)
+		w.scanExpr(n.X, st, write)
+	case *ast.IndexExpr:
+		w.scanExpr(n.X, st, write)
+		w.scanExpr(n.Index, st, false)
+	case *ast.IndexListExpr:
+		w.scanExpr(n.X, st, write)
+		for _, idx := range n.Indices {
+			w.scanExpr(idx, st, false)
+		}
+	case *ast.StarExpr:
+		w.scanExpr(n.X, st, write)
+	case *ast.SliceExpr:
+		w.scanExpr(n.X, st, write)
+		for _, idx := range []ast.Expr{n.Low, n.High, n.Max} {
+			if idx != nil {
+				w.scanExpr(idx, st, false)
+			}
+		}
+	case *ast.UnaryExpr:
+		w.scanExpr(n.X, st, write)
+	case *ast.BinaryExpr:
+		w.scanExpr(n.X, st, false)
+		w.scanExpr(n.Y, st, false)
+	case *ast.KeyValueExpr:
+		w.scanExpr(n.Value, st, false)
+	case *ast.CompositeLit:
+		for _, elt := range n.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			w.checkMutexCopy(elt)
+			w.scanExpr(elt, st, false)
+		}
+	case *ast.TypeAssertExpr:
+		w.scanExpr(n.X, st, false)
+	case *ast.FuncLit:
+		// Closures may run on another goroutine (or after the enclosing
+		// function released its locks): analyze with an empty held set.
+		w.block(n.Body.List, lockState{})
+	case *ast.CallExpr:
+		if key, op, ok := w.mutexOp(n); ok {
+			w.applyMutexOp(n, key, op, st, false)
+			return
+		}
+		w.checkLockedCall(n, st)
+		if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+			w.scanExpr(sel.X, st, false)
+		} else {
+			w.scanExpr(n.Fun, st, false)
+		}
+		for _, arg := range n.Args {
+			w.checkMutexCopy(arg)
+			w.scanExpr(arg, st, false)
+		}
+	}
+}
+
+// checkAccess reports a guarded-field selector accessed without the
+// required lock mode.
+func (w *funcWalker) checkAccess(sel *ast.SelectorExpr, st lockState, write bool) {
+	s := w.info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	g, ok := w.lg.guards[v]
+	if !ok {
+		return
+	}
+	key := types.ExprString(sel.X) + "." + g.mu
+	mode := st[key]
+	access := types.ExprString(sel)
+	switch {
+	case write && mode == modeRead:
+		w.lg.p.Reportf(sel.Pos(), "%s (guarded by %s) written while holding only the read lock on %s",
+			access, g.mu, key)
+	case write && mode == modeNone:
+		w.lg.p.Reportf(sel.Pos(), "%s (guarded by %s) written without holding %s", access, g.mu, key)
+	case !write && mode == modeNone:
+		w.lg.p.Reportf(sel.Pos(), "%s (guarded by %s) read without holding %s", access, g.mu, key)
+	}
+}
+
+// checkLockedCall verifies that a call to a lock-qualified function
+// holds the mutexes the callee assumes. The assumption's receiver/
+// parameter slot is mapped to the caller's argument expression, so
+// "callers hold c.mu" on a helper taking `c *tcpConn` checks the
+// caller's own `c.mu` key.
+func (w *funcWalker) checkLockedCall(call *ast.CallExpr, st lockState) {
+	fn := calleeFunc(w.info, call)
+	if fn == nil {
+		return
+	}
+	assumes := w.lg.lockedFuncs[fn.Origin()]
+	if len(assumes) == 0 {
+		return
+	}
+	for _, a := range assumes {
+		var base string
+		if a.slot < 0 {
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				continue // method expression form: receiver not syntactic
+			}
+			base = types.ExprString(sel.X)
+		} else {
+			if a.slot >= len(call.Args) {
+				continue
+			}
+			base = types.ExprString(call.Args[a.slot])
+		}
+		key := base + "." + a.mu
+		if st[key] == modeNone {
+			w.lg.p.Reportf(call.Pos(), "call to %s assumes %s is held, but it is not held on this path",
+				fn.Name(), key)
+		}
+	}
+}
+
+// checkMutexCopy reports a mutex (or a dereferenced mutex-bearing
+// struct) used as a value: assigned, passed, returned, or placed in a
+// composite literal. Copying a mutex forks its state and silently
+// splits the critical section.
+func (w *funcWalker) checkMutexCopy(e ast.Expr) {
+	e = ast.Unparen(e)
+	switch e.(type) {
+	case *ast.UnaryExpr, *ast.CompositeLit, *ast.CallExpr, *ast.FuncLit:
+		return // &x is a pointer; a fresh literal/result is not a copy
+	}
+	t := w.info.Types[e].Type
+	if t == nil {
+		return
+	}
+	if m, _ := isMutexType(t); m {
+		w.lg.p.Reportf(e.Pos(), "copies the mutex %s: a sync.Mutex must not be copied after first use",
+			types.ExprString(e))
+		return
+	}
+	if star, ok := e.(*ast.StarExpr); ok {
+		if st, ok := t.Underlying().(*types.Struct); ok && structHasMutex(st) {
+			w.lg.p.Reportf(star.Pos(), "dereference copies %s, a struct containing a mutex",
+				types.ExprString(e))
+		}
+	}
+}
+
+// structHasMutex reports whether the struct directly declares a
+// mutex-typed field.
+func structHasMutex(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if ok, _ := isMutexType(st.Field(i).Type()); ok {
+			return true
+		}
+	}
+	return false
+}

@@ -22,6 +22,5 @@ var PrivacyFlow = &Analyzer{
 }
 
 func runPrivacyFlow(p *ModulePass) {
-	cg := BuildCallGraph(p.Fset, p.Pkgs)
-	newTaintEngine(p.Fset, p.Config, cg).run(p)
+	newTaintEngine(p.Fset, p.Config, p.graph()).run(p)
 }

@@ -1,0 +1,45 @@
+// Package deadlineflow is the golden fixture for the deadlineflow
+// rule.
+//
+// Fixture conventions (bound by FixtureConfig): RunPhase is the engine
+// root, CallSafe is the retry layer, NetCall is the raw network sink.
+// A NetCall site reachable from RunPhase without passing CallSafe is a
+// finding carrying the full root→…→sink chain; sinks inside CallSafe
+// or in functions no root reaches are silent.
+package deadlineflow
+
+// NetCall stands in for Transport.Call: a raw network operation with
+// no deadline of its own.
+func NetCall(req string) string {
+	return req + "/sent"
+}
+
+// CallSafe stands in for the fl retry layer: the sink inside it is
+// deadline-protected by construction and must stay silent.
+func CallSafe(req string) string {
+	return NetCall(req + "/retry")
+}
+
+// helper is the intermediate hop of the true-positive chain.
+func helper(req string) string {
+	return NetCall(req + "!") // want deadlineflow "reachable from engine root RunPhase"
+}
+
+// RunPhase is the engine root: one unprotected chain through helper,
+// one protected call through the retry layer, one suppressed direct
+// call.
+func RunPhase() {
+	_ = helper("meta")
+	_ = CallSafe("meta")
+	allowedDirect()
+}
+
+func allowedDirect() {
+	_ = NetCall("probe") //lint:allow deadlineflow bounded by the connection-level socket deadline
+}
+
+// Unreachable holds a sink call no engine root reaches: silent (the
+// no-false-positive case mirroring server-side helpers).
+func Unreachable() string {
+	return NetCall("offline")
+}

@@ -1,0 +1,139 @@
+// Package goroleak is the golden fixture for the goroleak rule.
+//
+// A goroutine's blocking channel operation needs termination evidence:
+// a buffered channel, a spawner that drains/closes/feeds it, or a
+// select with a default/ctx.Done case. The OK* functions are the
+// sanctioned lifecycle idioms and must stay silent.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+// LeakSend blocks forever: unbuffered, and the spawner never receives.
+func LeakSend() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1 // want goroleak "block forever on send to ch"
+	}()
+}
+
+// LeakRecv blocks forever: the spawner neither closes nor feeds stop.
+func LeakRecv(stop <-chan struct{}) {
+	go func() {
+		<-stop // want goroleak "block forever on receive from stop"
+	}()
+}
+
+// LeakSelect has no escaping case: both channels are owned elsewhere.
+func LeakSelect(a, b chan int) {
+	go func() {
+		select { // want goroleak "no termination case"
+		case v := <-a:
+			_ = v
+		case <-b:
+		}
+	}()
+}
+
+// OKBuffered: the send completes into the buffer even if nobody ever
+// collects the result (the retry-watchdog pattern).
+func OKBuffered() {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+}
+
+// OKCollect: collect-then-signal — the spawner drains one message per
+// goroutine (the Broadcast fan-out pattern).
+func OKCollect(n int) {
+	done := make(chan int)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			done <- i
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+// OKWorkerPool: close-signaled worker — the goroutine ranges over a
+// channel the spawner closes after feeding it.
+func OKWorkerPool(jobs []int) {
+	next := make(chan int)
+	go func() {
+		for j := range next {
+			_ = j
+		}
+	}()
+	for _, j := range jobs {
+		next <- j
+	}
+	close(next)
+}
+
+// OKSemaphore: bounded-parallelism slots — the goroutine releases a
+// slot the spawner acquired (the ensemble forest pattern).
+func OKSemaphore(n int) {
+	sem := make(chan struct{}, 2)
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem }()
+		}()
+	}
+}
+
+// OKWaitGroup: pure WaitGroup pairing, no channel operations — never
+// flagged; the runtime checks the pairing.
+func OKWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// OKCtx: the select escapes through ctx.Done().
+func OKCtx(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// OKStopWatcher: the shutdown-watcher shape — the watcher's select
+// escapes through a channel the spawner closes on return.
+func OKStopWatcher(stop <-chan struct{}) {
+	hdone := make(chan struct{})
+	defer close(hdone)
+	go func() {
+		select {
+		case <-stop:
+		case <-hdone:
+		}
+	}()
+}
+
+// AllowedSend suppresses on the same line.
+func AllowedSend(ch chan int) {
+	go func() {
+		ch <- 1 //lint:allow goroleak the caller contract guarantees a reader on ch
+	}()
+}
+
+// AllowedRecv suppresses from the line above.
+func AllowedRecv(ch chan int) {
+	go func() {
+		//lint:allow goroleak drained by the test harness on the other side
+		<-ch
+	}()
+}

@@ -1,0 +1,159 @@
+// Package lockguard is the golden fixture for the lockguard rule.
+//
+// Conventions under test: a struct field carrying a `guarded by <mu>`
+// comment (doc or inline) may only be accessed with the named sibling
+// mutex held — write mode for writes. Helpers whose doc says "callers
+// hold <x>.<mu>" are analyzed with the lock assumed and their call
+// sites checked. Mutex copies and unlock-without-lock are flagged
+// unconditionally.
+package lockguard
+
+import "sync"
+
+// counter exercises the plain-Mutex discipline.
+type counter struct {
+	mu sync.Mutex
+	// n is the running count. guarded by mu
+	n int
+}
+
+// GoodInc holds the lock across the write: silent.
+func (c *counter) GoodInc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) BadInc() {
+	c.n++ // want lockguard "written without holding c.mu"
+}
+
+func (c *counter) BadRead() int {
+	return c.n // want lockguard "read without holding c.mu"
+}
+
+// DoubleCheck exercises the unlock-and-bail idiom: the early-return
+// branch releases the lock, and the fallthrough path still holds it.
+func (c *counter) DoubleCheck() int {
+	c.mu.Lock()
+	if c.n > 0 {
+		v := c.n
+		c.mu.Unlock()
+		return v
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+// DeferRead exercises the deferred-unlock idiom: the lock stays held
+// to the end of the body.
+func (c *counter) DeferRead() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Branchy exercises branch-merge: both arms acquire the lock, so the
+// intersection still holds it after the if.
+func (c *counter) Branchy(b bool) int {
+	if b {
+		c.mu.Lock()
+	} else {
+		c.mu.Lock()
+	}
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// OneSided acquires the lock on only one path: the merged state does
+// not hold it.
+func (c *counter) OneSided(b bool) {
+	if b {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	c.n++ // want lockguard "written without holding c.mu"
+}
+
+// Closure proves function literals start with an empty held set and
+// may take the lock themselves: silent.
+func (c *counter) Closure() func() int {
+	return func() int {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.n
+	}
+}
+
+// bumpLocked is a lock-qualified helper; callers hold c.mu.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+// GoodCaller holds the lock across the qualified call: silent.
+func (c *counter) GoodCaller() {
+	c.mu.Lock()
+	c.bumpLocked()
+	c.mu.Unlock()
+}
+
+func (c *counter) BadCaller() {
+	c.bumpLocked() // want lockguard "assumes c.mu is held"
+}
+
+func (c *counter) BadUnlock() {
+	c.mu.Unlock() // want lockguard "c.mu is not held on this path"
+}
+
+func (c *counter) CopyMutex() sync.Mutex {
+	return c.mu // want lockguard "copies the mutex c.mu"
+}
+
+func copyStruct(c *counter) counter {
+	return *c // want lockguard "dereference copies"
+}
+
+// AllowedInit suppresses a construction-time write on the same line.
+func (c *counter) AllowedInit() {
+	c.n = 0 //lint:allow lockguard construction-time reset before the counter escapes
+}
+
+// AllowedAbove suppresses a racy-by-design snapshot from the line
+// above.
+func (c *counter) AllowedAbove() int {
+	//lint:allow lockguard monitoring snapshot; staleness is documented and harmless
+	return c.n
+}
+
+// table exercises the RWMutex read/write modes.
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+// GetOK reads under the read lock: silent.
+func (t *table) GetOK(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// PutOK writes under the write lock: silent.
+func (t *table) PutOK(k string) {
+	t.mu.Lock()
+	t.m[k] = 1
+	t.mu.Unlock()
+}
+
+func (t *table) PutUnderRLock(k string) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.m[k] = 2 // want lockguard "written while holding only the read lock"
+}
+
+// broken carries an annotation that names no sibling mutex.
+type broken struct {
+	// cursed. guarded by missing
+	x int // want lockguard "is not a sibling"
+}

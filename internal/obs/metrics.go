@@ -107,10 +107,10 @@ type Metrics struct {
 	lastActivityNS atomic.Int64
 
 	mu      sync.RWMutex
-	clients map[int]*clientMetrics
-	rounds  map[string]*roundMetrics
-	phases  map[string]*phaseMetrics
-	chaos   map[string]*atomic.Int64
+	clients map[int]*clientMetrics   // guarded by mu
+	rounds  map[string]*roundMetrics // guarded by mu
+	phases  map[string]*phaseMetrics // guarded by mu
+	chaos   map[string]*atomic.Int64 // guarded by mu
 }
 
 // NewMetrics returns an empty metrics recorder.
@@ -291,7 +291,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	return err
 }
 
-// sortedRoundKinds returns the round kinds in sorted order.
+// sortedRoundKinds returns the round kinds in sorted order; callers
+// hold m.mu.
 func (m *Metrics) sortedRoundKinds() []string {
 	kinds := make([]string, 0, len(m.rounds))
 	for k := range m.rounds {
@@ -301,7 +302,7 @@ func (m *Metrics) sortedRoundKinds() []string {
 	return kinds
 }
 
-// writeRounds renders the per-round-kind families.
+// writeRounds renders the per-round-kind families; callers hold m.mu.
 func (m *Metrics) writeRounds(b *strings.Builder) {
 	kinds := m.sortedRoundKinds()
 	fmt.Fprintf(b, "# HELP fedforecaster_rounds_started_total Federated rounds started, by kind.\n# TYPE fedforecaster_rounds_started_total counter\n")
@@ -326,7 +327,8 @@ func (m *Metrics) writeRounds(b *strings.Builder) {
 	}
 }
 
-// writePhases renders the per-phase duration summaries.
+// writePhases renders the per-phase duration summaries; callers hold
+// m.mu.
 func (m *Metrics) writePhases(b *strings.Builder) {
 	phases := make([]string, 0, len(m.phases))
 	for p := range m.phases {
@@ -341,7 +343,7 @@ func (m *Metrics) writePhases(b *strings.Builder) {
 	}
 }
 
-// writeClients renders the per-client families.
+// writeClients renders the per-client families; callers hold m.mu.
 func (m *Metrics) writeClients(b *strings.Builder) {
 	ids := make([]int, 0, len(m.clients))
 	for id := range m.clients {
@@ -385,7 +387,7 @@ func (m *Metrics) writeClients(b *strings.Builder) {
 	}
 }
 
-// writeChaos renders the chaos-injection counters.
+// writeChaos renders the chaos-injection counters; callers hold m.mu.
 func (m *Metrics) writeChaos(b *strings.Builder) {
 	faults := make([]string, 0, len(m.chaos))
 	for f := range m.chaos {

@@ -32,7 +32,7 @@ type HTTPServer struct {
 	ln   net.Listener
 	srv  *http.Server
 	mu   sync.Mutex
-	serr error // first error returned by Serve (nil for clean shutdown)
+	serr error // first error returned by Serve (nil for clean shutdown); guarded by mu
 }
 
 // Serve starts an HTTP server on addr exposing:

@@ -26,8 +26,8 @@ type jsonlEnvelope struct {
 // (later events are dropped once the sink has failed).
 type JSONL struct {
 	mu  sync.Mutex
-	w   io.Writer
-	err error
+	w   io.Writer // guarded by mu
+	err error     // guarded by mu
 	// now supplies timestamps; tests inject a fixed clock so golden
 	// output is deterministic.
 	now func() int64

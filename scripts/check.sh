@@ -8,7 +8,14 @@
 # module. The federated substrate performs concurrent quorum
 # broadcasts racing against retries, timeouts, and transport shutdown,
 # so -race is part of the bar, not an extra; likewise the fedlint
-# determinism/hygiene rules (see DESIGN.md "Determinism policy").
+# determinism/hygiene rules (see DESIGN.md "Determinism policy") and
+# the concurrency-policy rules — lockguard (annotated mutex
+# discipline), goroleak (goroutine termination evidence), deadlineflow
+# (every engine-reachable network call passes the fl retry layer), and
+# codeccover (wire-schema/vocabulary drift) — see DESIGN.md
+# "Concurrency policy as code". The race detector observes only the
+# schedules the suite happens to run; the static rules hold on every
+# path, so the two layers are complementary, not redundant.
 #
 # Usage:
 #   scripts/check.sh          # build, test, race-test everything
@@ -34,7 +41,7 @@ fi
 echo "==> fedlint ./internal/obs (telemetry: no stray wall-clock reads)"
 go run ./cmd/fedlint ./internal/obs
 
-echo "==> fedlint ./..."
+echo "==> fedlint ./... (all rules, incl. lockguard/goroleak/deadlineflow/codeccover)"
 go run ./cmd/fedlint ./...
 
 echo "==> go test ./..."
