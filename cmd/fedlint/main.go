@@ -2,8 +2,10 @@
 // analyzers over the module: determinism (seededrand, walltime,
 // maporder), numeric safety (floateq), error hygiene (errdrop,
 // panicfree), concurrency discipline (lockguard, goroleak,
-// deadlineflow), wire-format coverage (codeccover), and the
-// interprocedural privacy-boundary check (privacyflow).
+// deadlineflow), wire-format coverage (codeccover), the
+// interprocedural privacy-boundary check (privacyflow), and the
+// hot-path performance policy (hotalloc, bigcopy, prealloc,
+// deferloop, iboxing).
 //
 // Usage:
 //
@@ -13,6 +15,8 @@
 //	go run ./cmd/fedlint -json ./...      # one JSON diagnostic per line
 //	go run ./cmd/fedlint -sarif ./...     # SARIF 2.1.0 log for code scanning
 //	go run ./cmd/fedlint -graph ./...     # module call graph in DOT form
+//	go run ./cmd/fedlint -only hotalloc,prealloc ./...
+//	                                      # run a comma-separated subset of rules
 //	go run ./cmd/fedlint -fixture internal/lint/testdata/src/errdrop
 //	                                      # lint one standalone fixture dir
 //
@@ -45,8 +49,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic per line (file/line/col/rule/message/chain)")
 	sarifOut := flag.Bool("sarif", false, "emit a SARIF 2.1.0 log (for GitHub code scanning upload)")
 	graph := flag.Bool("graph", false, "emit the call graph of the selected packages in Graphviz DOT form and exit")
+	only := flag.String("only", "", "comma-separated rule names; run only these analyzers (registry order)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: fedlint [-root dir] [-fixture dir] [-list] [-json] [-sarif] [-graph] [packages]\n\n"+
+		fmt.Fprintf(os.Stderr, "usage: fedlint [-root dir] [-fixture dir] [-list] [-json] [-sarif] [-graph] [-only rules] [packages]\n\n"+
 			"Patterns are module-relative: ./... (default), ./internal/..., ./internal/fl.\n")
 		flag.PrintDefaults()
 	}
@@ -56,7 +61,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	analyzers := lint.Analyzers()
+	analyzers, err := selectAnalyzers(lint.Analyzers(), *only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedlint:", err)
+		os.Exit(2)
+	}
 	if *list {
 		for _, a := range analyzers {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
@@ -189,6 +198,41 @@ func runFixture(w io.Writer, dir string, analyzers []*lint.Analyzer, mode outMod
 	}
 	findings := lint.Run(fset, []*lint.Package{pkg}, analyzers, lint.FixtureConfig(ip))
 	return report(w, findings, analyzers, mode)
+}
+
+// selectAnalyzers filters the registry by a comma-separated -only
+// list. The empty list keeps everything; selection preserves registry
+// order regardless of how -only is ordered, so output stays
+// deterministic. Unknown or empty rule names are usage errors.
+func selectAnalyzers(all []*lint.Analyzer, only string) ([]*lint.Analyzer, error) {
+	if only == "" {
+		return all, nil
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("-only: empty rule name in %q", only)
+		}
+		known := false
+		for _, a := range all {
+			if a.Name == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("-only: unknown rule %q (run -list for the registry)", name)
+		}
+		want[name] = true
+	}
+	var out []*lint.Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
 }
 
 // selectPackages filters the loaded packages by the command-line

@@ -75,6 +75,63 @@ func TestJSONSchema(t *testing.T) {
 	}
 }
 
+// TestSelectAnalyzers pins the -only contract: empty keeps the full
+// registry, a comma list filters in registry order regardless of the
+// flag's own ordering, whitespace around names is tolerated, and
+// unknown or empty names are usage errors.
+func TestSelectAnalyzers(t *testing.T) {
+	all := lint.Analyzers()
+
+	got, err := selectAnalyzers(all, "")
+	if err != nil || len(got) != len(all) {
+		t.Fatalf(`selectAnalyzers(all, "") = %d analyzers, err %v; want the full registry of %d`, len(got), err, len(all))
+	}
+
+	got, err = selectAnalyzers(all, "prealloc, hotalloc")
+	if err != nil {
+		t.Fatalf("selectAnalyzers(prealloc,hotalloc): %v", err)
+	}
+	var names []string
+	for _, a := range got {
+		names = append(names, a.Name)
+	}
+	// Registry order, not flag order: hotalloc is registered first.
+	if strings.Join(names, ",") != "hotalloc,prealloc" {
+		t.Errorf("selected %v, want [hotalloc prealloc] in registry order", names)
+	}
+
+	if _, err := selectAnalyzers(all, "nosuchrule"); err == nil {
+		t.Error("unknown rule accepted by -only")
+	}
+	if _, err := selectAnalyzers(all, "hotalloc,,prealloc"); err == nil {
+		t.Error("empty rule name accepted by -only")
+	}
+}
+
+// TestOnlyFiltersFindings runs the prealloc fixture (which draws both
+// prealloc and hotalloc findings) through the driver path with a
+// filtered analyzer set and checks only the selected rule reports.
+func TestOnlyFiltersFindings(t *testing.T) {
+	analyzers, err := selectAnalyzers(lint.Analyzers(), "prealloc")
+	if err != nil {
+		t.Fatalf("selectAnalyzers: %v", err)
+	}
+	var buf bytes.Buffer
+	code := runFixture(&buf, "../../internal/lint/testdata/src/prealloc", analyzers, modeJSON, false)
+	if code != 1 {
+		t.Fatalf("runFixture exit = %d, want 1 (fixture contains deliberate findings)", code)
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n") {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line is not valid JSON: %q: %v", line, err)
+		}
+		if obj["rule"] != "prealloc" {
+			t.Errorf("-only prealloc emitted rule %v: %q", obj["rule"], line)
+		}
+	}
+}
+
 // TestJSONDeterministic: repeated runs are byte-identical — the
 // schema is usable as a stable machine interface.
 func TestJSONDeterministic(t *testing.T) {

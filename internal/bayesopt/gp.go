@@ -25,6 +25,13 @@ type gp struct {
 	yStd  float64
 	chol  *linalg.Matrix
 	alpha []float64 // K⁻¹·(y standardized)
+
+	// predict scratch, sized to the observation count at fit time. A gp
+	// serves one goroutine (the optimizer's proposal loop), so the
+	// buffers are reused across the hundreds of candidate predictions a
+	// single Next makes.
+	kStar []float64
+	vbuf  []float64
 }
 
 func newGP(dim int) *gp {
@@ -85,13 +92,18 @@ func (g *gp) fit(x [][]float64, y []float64) error {
 // raw loss units).
 func (g *gp) predict(u []float64) (mu, sigma float64) {
 	n := len(g.x)
-	kStar := make([]float64, n)
+	if cap(g.kStar) < n {
+		g.kStar = make([]float64, n)
+		g.vbuf = make([]float64, n)
+	}
+	kStar := g.kStar[:n]
 	for i := range g.x {
 		kStar[i] = g.matern52(u, g.x[i])
 	}
 	muStd := linalg.Dot(kStar, g.alpha)
 	// Variance: k(u,u) − k*ᵀ K⁻¹ k* via triangular solve.
-	v := forwardSolve(g.chol, kStar)
+	v := g.vbuf[:n]
+	forwardSolveInto(v, g.chol, kStar)
 	variance := g.matern52(u, u) - linalg.Dot(v, v)
 	if variance < 1e-12 {
 		variance = 1e-12
@@ -99,10 +111,10 @@ func (g *gp) predict(u []float64) (mu, sigma float64) {
 	return muStd*g.yStd + g.yMean, math.Sqrt(variance) * g.yStd
 }
 
-// forwardSolve solves L·out = b for lower-triangular L.
-func forwardSolve(l *linalg.Matrix, b []float64) []float64 {
+// forwardSolveInto solves L·out = b for lower-triangular L, writing
+// into the caller's buffer (len(out) must be L.Rows).
+func forwardSolveInto(out []float64, l *linalg.Matrix, b []float64) {
 	n := l.Rows
-	out := make([]float64, n)
 	for i := 0; i < n; i++ {
 		li := l.Row(i)
 		s := b[i]
@@ -111,7 +123,6 @@ func forwardSolve(l *linalg.Matrix, b []float64) []float64 {
 		}
 		out[i] = s / li[i]
 	}
-	return out
 }
 
 // expectedImprovement computes EI for minimization at posterior

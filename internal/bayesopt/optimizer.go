@@ -46,7 +46,7 @@ func New(spaces []search.Space, seed int64) *Optimizer {
 		bestY:      math.Inf(1),
 	}
 	for _, s := range spaces {
-		o.obs[s.Algorithm] = &spaceObs{space: s}
+		o.obs[s.Algorithm] = &spaceObs{space: s} //lint:allow hotalloc one-time construction per subspace at optimizer creation, not per-round work
 	}
 	return o
 }
@@ -107,9 +107,23 @@ func (o *Optimizer) Next() search.Config {
 	bestEI := -1.0
 	var bestCfg search.Config
 	havePick := false
+	// One standardized-loss buffer and one candidate buffer serve every
+	// space: fit copies what it keeps and Decode copies what it returns,
+	// and each space's GP dies before the buffers are resliced.
+	maxDim, maxObs := 0, 0
+	for _, s := range o.spaces {
+		if d := s.Dim(); d > maxDim {
+			maxDim = d
+		}
+		if n := len(o.obs[s.Algorithm].y); n > maxObs {
+			maxObs = n
+		}
+	}
+	ysBuf := make([]float64, maxObs)
+	u := make([]float64, maxDim)
 	for _, s := range o.spaces {
 		so := o.obs[s.Algorithm]
-		ys := make([]float64, len(so.y))
+		ys := ysBuf[:len(so.y)]
 		for i, v := range so.y {
 			ys[i] = std(v)
 		}
@@ -118,7 +132,7 @@ func (o *Optimizer) Next() search.Config {
 			continue
 		}
 		for c := 0; c < o.candidates; c++ {
-			u := make([]float64, s.Dim())
+			u = u[:s.Dim()]
 			for i := range u {
 				u[i] = o.rng.Float64()
 			}
@@ -194,7 +208,7 @@ func (o *Optimizer) ProposeBatch(q int) []search.Config {
 		key      string
 		prevSeen bool
 	}
-	var lies []lieRecord
+	lies := make([]lieRecord, 0, q-1)
 	batch := make([]search.Config, 0, q)
 	for k := 0; k < q; k++ {
 		cfg := o.Next()

@@ -263,6 +263,7 @@ func (c *ClientNode) evaluateBatch(req fl.Message, phase string) (fl.Message, er
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//lint:allow hotalloc bounded worker pool: one closure per worker at batch start, not per candidate
 		go func() {
 			defer wg.Done()
 			for i := range next {

@@ -417,14 +417,22 @@ func runPhaseOptimize(rc *roundContext) error {
 	rc.note("phase III: Bayesian optimization")
 	opt := bayesopt.New(rc.spaces, e.Cfg.Seed)
 	if e.Cfg.WarmStart {
-		var warm []search.Config
+		maxDim := 0
 		for _, sp := range rc.spaces {
-			// The space centre is the canonical default instantiation.
-			u := make([]float64, sp.Dim())
-			for i := range u {
-				u[i] = 0.5
+			if d := sp.Dim(); d > maxDim {
+				maxDim = d
 			}
-			warm = append(warm, sp.Decode(u))
+		}
+		u := make([]float64, maxDim)
+		warm := make([]search.Config, 0, len(rc.spaces))
+		for _, sp := range rc.spaces {
+			// The space centre is the canonical default instantiation;
+			// Decode copies, so one buffer serves every space.
+			v := u[:sp.Dim()]
+			for i := range v {
+				v[i] = 0.5
+			}
+			warm = append(warm, sp.Decode(v))
 		}
 		opt.Warm(warm)
 	}
@@ -559,8 +567,10 @@ func needPrepare(resps []fl.Message) bool {
 // skipped/need_prepare contribute to no candidate.
 func aggregateBatchLosses(resps []fl.Message, k int) ([]float64, error) {
 	out := make([]float64, k)
+	losses := make([]float64, 0, len(resps))
+	sizes := make([]float64, 0, len(resps))
 	for j := 0; j < k; j++ {
-		var losses, sizes []float64
+		losses, sizes = losses[:0], sizes[:0]
 		for _, r := range resps {
 			if r.Scalars["skipped"] == 1 || r.Scalars["need_prepare"] == 1 {
 				continue

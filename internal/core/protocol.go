@@ -80,8 +80,14 @@ func decodeConfig(msg fl.Message) search.Config {
 // encodeEngineer serializes the shared feature-engineering schema.
 func encodeEngineer(msg *fl.Message, eng *features.Engineer) {
 	msg.Ints["lags"] = append([]int(nil), eng.Lags...)
+	// Preallocated, but nil when Seasonal is empty: the wire schema
+	// distinguishes absent from empty-but-present slices.
 	var periods []int
 	var strengths []float64
+	if n := len(eng.Seasonal); n > 0 {
+		periods = make([]int, 0, n)
+		strengths = make([]float64, 0, n)
+	}
 	for _, sc := range eng.Seasonal {
 		periods = append(periods, sc.Period)
 		strengths = append(strengths, sc.Strength)
@@ -211,8 +217,17 @@ const (
 func engineerFingerprint(eng *features.Engineer, s pipeline.Splits) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "v2|lags:%v|", eng.Lags)
+	const zeros = "0000000000000000"
 	for _, sc := range eng.Seasonal {
-		fmt.Fprintf(&b, "season:%d:%016x|", sc.Period, math.Float64bits(sc.Strength))
+		// strconv instead of Fprintf: identical bytes ("%d" and a
+		// zero-padded "%016x") with no interface boxing per season.
+		b.WriteString("season:")
+		b.WriteString(strconv.Itoa(sc.Period))
+		b.WriteByte(':')
+		hx := strconv.FormatUint(math.Float64bits(sc.Strength), 16)
+		b.WriteString(zeros[:16-len(hx)])
+		b.WriteString(hx)
+		b.WriteByte('|')
 	}
 	fmt.Fprintf(&b, "trend:%t|time:%t|", eng.UseTrend, eng.UseTime)
 	fmt.Fprintf(&b, "exog:%s|", strings.Join(eng.ExogNames, ","))
@@ -269,8 +284,14 @@ func encodeClientFeatures(msg *fl.Message, cf metafeat.ClientFeatures) {
 	msg.Scalars["hist_lo"] = cf.HistLo
 	msg.Scalars["hist_hi"] = cf.HistHi
 	msg.Ints["sig_lags"] = append([]int(nil), cf.SigLags...)
+	// Preallocated, but nil when Seasonal is empty: the wire schema
+	// distinguishes absent from empty-but-present slices.
 	var periods []int
 	var strengths []float64
+	if n := len(cf.Seasonal); n > 0 {
+		periods = make([]int, 0, n)
+		strengths = make([]float64, 0, n)
+	}
 	for _, sc := range cf.Seasonal {
 		periods = append(periods, sc.Period)
 		strengths = append(strengths, sc.Strength)

@@ -10,8 +10,8 @@ package features
 
 import (
 	"errors"
-	"fmt"
 	"math"
+	"strconv"
 
 	"fedforecaster/internal/ensemble"
 	"fedforecaster/internal/metafeat"
@@ -75,9 +75,9 @@ func NewEngineer(agg metafeat.Aggregated) *Engineer {
 
 // FeatureNames returns the full schema's column names (before Keep).
 func (e *Engineer) FeatureNames() []string {
-	var names []string
+	names := make([]string, 0, len(e.Lags)+5+2*len(e.Seasonal)+len(e.ExogNames))
 	for _, l := range e.Lags {
-		names = append(names, fmt.Sprintf("lag_%d", l))
+		names = append(names, "lag_"+strconv.Itoa(l))
 	}
 	if e.UseTrend {
 		names = append(names, "trend")
@@ -86,7 +86,8 @@ func (e *Engineer) FeatureNames() []string {
 		names = append(names, "time_dow", "time_hour", "time_month", "time_index")
 	}
 	for _, sc := range e.Seasonal {
-		names = append(names, fmt.Sprintf("season_sin_%d", sc.Period), fmt.Sprintf("season_cos_%d", sc.Period))
+		p := strconv.Itoa(sc.Period)
+		names = append(names, "season_sin_"+p, "season_cos_"+p)
 	}
 	for _, ex := range e.ExogNames {
 		names = append(names, "exog_"+ex)
@@ -137,10 +138,15 @@ func (e *Engineer) Build(s *timeseries.Series, trainLen int) (*model.Dataset, er
 	n := len(v) - maxLag
 	x := make([][]float64, n)
 	y := make([]float64, n)
+	// Every row appends exactly len(names) values (the appends below
+	// mirror the schema walk in FeatureNames), so all rows share one
+	// flat backing array: one allocation instead of n.
+	w := len(names)
+	backing := make([]float64, n*w)
 	hasCalendar := !filled.Start.IsZero() && filled.Rate != timeseries.RateUnknown
 	for i := 0; i < n; i++ {
 		t := i + maxLag // target index
-		row := make([]float64, 0, len(names))
+		row := backing[i*w : i*w : (i+1)*w]
 		for _, l := range e.Lags {
 			row = append(row, v[t-l])
 		}
@@ -256,7 +262,7 @@ func SelectFeatures(perClient [][]float64, threshold float64) []int {
 		}
 	}
 	var mass float64
-	var kept []int
+	kept := make([]int, 0, len(order))
 	for _, j := range order {
 		kept = append(kept, j)
 		mass += avg[j] / total

@@ -660,7 +660,7 @@ func (d *decoder) message() (Message, error) {
 		}
 		var v []int
 		if n > 0 {
-			v = make([]int, n)
+			v = make([]int, n) //lint:allow hotalloc the decoded slice is retained by the returned message; a shared buffer would alias messages
 			for j := range v {
 				x, err := d.svarint()
 				if err != nil {

@@ -258,6 +258,7 @@ func (s *Server) CallSubsetQuorum(clients []int, req Message, q QuorumConfig) ([
 	var wg sync.WaitGroup
 	for i, c := range clients {
 		wg.Add(1)
+		//lint:allow hotalloc federated fan-out is one goroutine per client per round by design
 		go func(i, c int) {
 			defer wg.Done()
 			out[i], errs[i] = callWithPolicy(s.transport, c, req, q.Retry, hook)
@@ -275,7 +276,7 @@ func (s *Server) CallSubsetQuorum(clients []int, req Message, q QuorumConfig) ([
 			continue
 		}
 		if firstDrop == nil {
-			firstDrop = fmt.Errorf("client %d: %v", c, errs[i])
+			firstDrop = fmt.Errorf("client %d: %v", c, errs[i]) //lint:allow iboxing drop-path diagnostics, not steady-state iteration work
 		}
 		if q.OnDrop != nil {
 			q.OnDrop(c, errs[i])

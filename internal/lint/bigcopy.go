@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BigCopy flags by-value copies of large structs and arrays in hot
+// functions: range-value copies (`for _, v := range xs` materializes a
+// full copy of every element) anywhere in a hot function, and
+// assignment copies inside hot loops. The threshold comes from
+// Config.BigCopyBytes under the pinned 64-bit gc size model; iterate
+// by index or hold a pointer instead.
+var BigCopy = &Analyzer{
+	Name: "bigcopy",
+	Doc: "no by-value copies or range-copies of structs/arrays over the size " +
+		"threshold in functions reachable from a hot root",
+	RunModule: runBigCopy,
+}
+
+func runBigCopy(p *ModulePass) {
+	if p.Config.BigCopyBytes <= 0 {
+		return
+	}
+	computeHotRegion(p).eachHot(p.graph(), p.scanBigCopies)
+}
+
+func (p *ModulePass) scanBigCopies(v *hotVisit) {
+	fd := v.node.Decl
+	pkg := v.node.Pkg
+	info := pkg.Info
+	threshold := p.Config.BigCopyBytes
+	reported := map[token.Pos]bool{}
+	report := func(pos token.Pos, format string, sz int64, tname string) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		chain := p.hotChain(v, "copy", pos)
+		p.ReportChain(pos, chain, format+" (chain: %s)",
+			sz, tname, chainRoot(chain), strings.Join(chain, " -> "))
+	}
+
+	// Range-value copies: every iteration of any loop in a hot function
+	// copies the element into the loop variable.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		r, ok := n.(*ast.RangeStmt)
+		if !ok || r.Value == nil {
+			return true
+		}
+		id, ok := r.Value.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		t := info.TypeOf(r.Value)
+		if sz := bigCopySize(t); sz >= threshold {
+			report(id.Pos(),
+				"range copies %d-byte %s into the loop variable on every iteration of a hot "+
+					"loop reachable from %s; iterate by index or take a pointer",
+				sz, types.TypeString(t, types.RelativeTo(pkg.Types)))
+		}
+		return true
+	})
+
+	// Assignment copies per iteration: `w := xs[i]`, `w := *p`, plain
+	// variable/field reads of a big value. Composite literals and call
+	// results are construction, not copies, and stay quiet.
+	eachLoopNode(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for _, r := range as.Rhs {
+			switch ast.Unparen(r).(type) {
+			case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			default:
+				continue
+			}
+			t := info.TypeOf(r)
+			if sz := bigCopySize(t); sz >= threshold {
+				report(r.Pos(),
+					"copies %d-byte %s by value on every iteration of a hot loop reachable "+
+						"from %s; hold a pointer or index in place",
+					sz, types.TypeString(t, types.RelativeTo(pkg.Types)))
+			}
+		}
+		return true
+	})
+}
+
+// bigCopySize returns the value size of struct/array types under the
+// pinned size model, and 0 for everything else (slices, maps, pointers
+// and scalars are cheap header/word copies).
+func bigCopySize(t types.Type) int64 {
+	if t == nil {
+		return 0
+	}
+	switch t.Underlying().(type) {
+	case *types.Struct, *types.Array:
+		return hotSizes.Sizeof(t)
+	}
+	return 0
+}

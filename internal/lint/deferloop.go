@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DeferLoop flags defer statements lexically inside loops in hot
+// functions: deferred calls run at function return, not at iteration
+// end, so a defer in a loop accumulates one pending call (and its
+// ~50ns bookkeeping) per iteration — a leak-shaped cost on paths that
+// iterate per round × client. A defer inside a function literal is
+// scoped to that literal and does not fire, which keeps the
+// worker-body idiom (`func() { defer wg.Done(); ... }`) clean.
+var DeferLoop = &Analyzer{
+	Name:      "deferloop",
+	Doc:       "no defer inside loops in functions reachable from a hot root",
+	RunModule: runDeferLoop,
+}
+
+func runDeferLoop(p *ModulePass) {
+	computeHotRegion(p).eachHot(p.graph(), p.scanDeferLoops)
+}
+
+func (p *ModulePass) scanDeferLoops(v *hotVisit) {
+	fd := v.node.Decl
+
+	// Defer is function-scoped, so loop membership must be judged per
+	// function scope: the declared body and each nested literal body are
+	// scanned independently, never across a literal boundary.
+	scopes := []*ast.BlockStmt{fd.Body}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			scopes = append(scopes, fl.Body)
+		}
+		return true
+	})
+
+	for _, scope := range scopes {
+		for _, l := range scopedLoops(scope) {
+			body := l
+			ast.Inspect(body, func(n ast.Node) bool {
+				switch d := n.(type) {
+				case *ast.FuncLit:
+					return false // a literal's defers belong to the literal
+				case *ast.DeferStmt:
+					chain := p.hotChain(v, "defer", d.Pos())
+					p.ReportChain(d.Pos(), chain,
+						"defer inside a loop reachable from hot root %s runs only at function "+
+							"return — deferred calls accumulate per iteration (chain: %s)",
+						chainRoot(chain), strings.Join(chain, " -> "))
+				}
+				return true
+			})
+		}
+	}
+}
+
+// scopedLoops returns the outermost loops of one function scope,
+// without crossing into nested function literals (their loops belong
+// to their own scope entry).
+func scopedLoops(body *ast.BlockStmt) []ast.Stmt {
+	var loops []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, s)
+			return false
+		case *ast.RangeStmt:
+			loops = append(loops, s)
+			return false
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+	return loops
+}

@@ -1,0 +1,326 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc flags heap allocations that recur on every iteration of a
+// loop inside the hot region: make/new calls, map/slice/composite
+// literals, closures, and zero-capacity append growth. An escape-lite
+// analysis keeps stack-bound locals quiet — a small constant-size
+// buffer that never leaves the frame is free — so what fires is the
+// per-iteration garbage that multiplies by rounds × clients.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "no escaping heap allocations (make/new/literals/closures/zero-cap " +
+		"append growth) inside loops reachable from a hot root",
+	RunModule: runHotAlloc,
+}
+
+// maxStackAllocBytes mirrors gc's stack-allocation ceiling for
+// non-escaping, constant-size allocations: below it, a non-escaping
+// make/literal stays on the stack and is not a finding.
+const maxStackAllocBytes = 64 * 1024
+
+func runHotAlloc(p *ModulePass) {
+	computeHotRegion(p).eachHot(p.graph(), p.scanHotAllocs)
+}
+
+func (p *ModulePass) scanHotAllocs(v *hotVisit) {
+	fd := v.node.Decl
+	pkg := v.node.Pkg
+	info := pkg.Info
+	parents := parentMap(fd)
+	reported := map[token.Pos]bool{}
+	report := func(pos token.Pos, label, what string) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		chain := p.hotChain(v, label, pos)
+		p.ReportChain(pos, chain,
+			"%s allocates on every iteration of a loop reachable from hot root %s (chain: %s)",
+			what, chainRoot(chain), strings.Join(chain, " -> "))
+	}
+
+	// Composite literals under an & are reported at the & (one finding,
+	// pointer semantics); the bare-literal case below skips them.
+	addrTaken := map[*ast.CompositeLit]bool{}
+
+	eachLoopNode(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			switch {
+			case isBuiltin(info, e, "make"):
+				if !stackBoundMake(info, parents, fd.Body, e) {
+					report(e.Pos(), "make", types.ExprString(e))
+				}
+			case isBuiltin(info, e, "new"):
+				if escapesLite(info, parents, fd.Body, e) {
+					report(e.Pos(), "new", types.ExprString(e))
+				}
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if cl, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					addrTaken[cl] = true
+					if escapesLite(info, parents, fd.Body, e) {
+						report(e.Pos(), "literal", "&"+litTypeString(pkg, cl)+"{...}")
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if addrTaken[e] || isLitElement(parents, e) {
+				return true
+			}
+			switch info.TypeOf(e).Underlying().(type) {
+			case *types.Map:
+				report(e.Pos(), "literal", litTypeString(pkg, e)+" map literal")
+			case *types.Slice:
+				if escapesLite(info, parents, fd.Body, e) || !smallSliceLit(info, e) {
+					report(e.Pos(), "literal", litTypeString(pkg, e)+" slice literal")
+				}
+			}
+			// Value struct/array literals build in place: no heap traffic
+			// unless their address is taken (handled above).
+		case *ast.FuncLit:
+			if escapesLite(info, parents, fd.Body, e) {
+				report(e.Pos(), "closure", "function literal (closure)")
+			}
+		}
+		return true
+	})
+
+	// Zero-capacity append growth with no statically derivable bound;
+	// derivable sites belong to prealloc, and branch-guarded appends are
+	// the sanctioned filtering idiom.
+	for _, ai := range selfAppends(pkg, fd, parents) {
+		if !ai.uncond || ai.derivable != "" {
+			continue
+		}
+		if reported[ai.call.Pos()] {
+			continue
+		}
+		reported[ai.call.Pos()] = true
+		chain := p.hotChain(v, "append", ai.call.Pos())
+		p.ReportChain(ai.call.Pos(), chain,
+			"append grows %s (declared with zero capacity, no derivable bound) on every "+
+				"iteration of a loop reachable from hot root %s (chain: %s)",
+			ai.slice.Name(), chainRoot(chain), strings.Join(chain, " -> "))
+	}
+}
+
+// litTypeString renders a composite literal's type relative to its
+// package, for message text.
+func litTypeString(pkg *Package, cl *ast.CompositeLit) string {
+	t := pkg.Info.TypeOf(cl)
+	if t == nil {
+		return "composite"
+	}
+	return types.TypeString(t, types.RelativeTo(pkg.Types))
+}
+
+// isLitElement reports whether cl is an element of an enclosing
+// composite literal (the outer literal is the reported allocation).
+func isLitElement(parents map[ast.Node]ast.Node, cl *ast.CompositeLit) bool {
+	switch parents[cl].(type) {
+	case *ast.CompositeLit, *ast.KeyValueExpr:
+		return true
+	}
+	return false
+}
+
+// stackBoundMake reports whether a make call is stack-bound: a slice
+// with constant size(s) totalling under the gc stack-allocation
+// ceiling whose result never escapes. Maps and channels always live on
+// the heap; a make with a runtime-variable size always allocates.
+func stackBoundMake(info *types.Info, parents map[ast.Node]ast.Node, body *ast.BlockStmt, call *ast.CallExpr) bool {
+	sl, ok := info.TypeOf(call).Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	var n int64 // the larger of len/cap, both required constant
+	for _, arg := range call.Args[1:] {
+		tv := info.Types[arg]
+		if tv.Value == nil {
+			return false
+		}
+		v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+		if !exact {
+			return false
+		}
+		if v > n {
+			n = v
+		}
+	}
+	if hotSizes.Sizeof(sl.Elem())*n > maxStackAllocBytes {
+		return false
+	}
+	return !escapesLite(info, parents, body, call)
+}
+
+// smallSliceLit reports whether a slice literal's backing array is
+// under the stack-allocation ceiling (its length is a compile-time
+// constant by construction).
+func smallSliceLit(info *types.Info, cl *ast.CompositeLit) bool {
+	sl, ok := info.TypeOf(cl).Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return hotSizes.Sizeof(sl.Elem())*int64(len(cl.Elts)) <= maxStackAllocBytes
+}
+
+// escapesLite reports whether the value built by alloc may outlive the
+// enclosing call frame. It is deliberately shallow — documented in
+// DESIGN.md "Performance policy as code" — tracking only the shape
+//
+//	local := <alloc>   // or var local = <alloc>
+//
+// and classifying every subsequent use of that one local. Anything it
+// cannot prove frame-local (aliasing to another name, reslicing,
+// passing to a non-builtin call, storing into a composite/field/chan,
+// returning, address-taking, capture by go/defer) counts as escaping.
+func escapesLite(info *types.Info, parents map[ast.Node]ast.Node, body *ast.BlockStmt, alloc ast.Expr) bool {
+	parent := skipParens(parents, alloc)
+
+	// An immediately-invoked literal (func(){...}()) runs inline; the
+	// same call under go/defer hands the closure to another frame.
+	if call, ok := parent.(*ast.CallExpr); ok && ast.Unparen(call.Fun) == alloc {
+		switch skipParens(parents, call).(type) {
+		case *ast.GoStmt, *ast.DeferStmt:
+			return true
+		}
+		return false
+	}
+
+	var obj types.Object
+	switch b := parent.(type) {
+	case *ast.AssignStmt:
+		if len(b.Lhs) != len(b.Rhs) {
+			return true
+		}
+		for i, r := range b.Rhs {
+			if ast.Unparen(r) != alloc {
+				continue
+			}
+			id, ok := ast.Unparen(b.Lhs[i]).(*ast.Ident)
+			if !ok {
+				return true // field/index/deref target: stored beyond the frame's locals
+			}
+			if id.Name == "_" {
+				return false // discarded: cannot escape
+			}
+			obj = objOf(info, id)
+		}
+	case *ast.ValueSpec:
+		for i, val := range b.Values {
+			if ast.Unparen(val) != alloc || i >= len(b.Names) {
+				continue
+			}
+			if b.Names[i].Name == "_" {
+				return false
+			}
+			obj = info.Defs[b.Names[i]]
+		}
+	default:
+		return true // argument, return value, element, send, ...: escapes
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return true
+	}
+
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != obj {
+			return true
+		}
+		if useEscapes(info, parents, id, obj) {
+			escaped = true
+		}
+		return true
+	})
+	return escaped
+}
+
+// useEscapes classifies one use of the tracked local: true when the
+// use may let the value outlive the frame.
+func useEscapes(info *types.Info, parents map[ast.Node]ast.Node, id *ast.Ident, obj types.Object) bool {
+	switch p := skipParens(parents, id).(type) {
+	case *ast.AssignStmt:
+		for _, l := range p.Lhs {
+			if ast.Unparen(l) == id {
+				return false // write to the variable: old value's lifetime ends
+			}
+		}
+		return true // bare RHS: aliased into another name (not chased)
+	case *ast.ValueSpec:
+		return true // var alias = local
+	case *ast.CallExpr:
+		if ast.Unparen(p.Fun) == id {
+			// calling a local function value escapes only under go/defer
+			switch skipParens(parents, p).(type) {
+			case *ast.GoStmt, *ast.DeferStmt:
+				return true
+			}
+			return false
+		}
+		if fid, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+			if _, isBuiltinFn := info.Uses[fid].(*types.Builtin); isBuiltinFn {
+				switch fid.Name {
+				case "len", "cap", "delete", "clear", "copy", "min", "max":
+					return false // measurement / element traffic only
+				case "append":
+					// s = append(s, ...): self-growth stays local; the value
+					// appearing in any other append position is retained.
+					if len(p.Args) > 0 && ast.Unparen(p.Args[0]) == id {
+						if as, ok := skipParens(parents, p).(*ast.AssignStmt); ok && len(as.Lhs) == 1 {
+							if lid, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok && objOf(info, lid) == obj {
+								return false
+							}
+						}
+					}
+					return true
+				}
+			}
+		}
+		return true // interprocedural: assume the callee retains it
+	case *ast.IndexExpr:
+		return false // element read/write in place
+	case *ast.StarExpr:
+		return false // dereference of the tracked pointer
+	case *ast.RangeStmt:
+		return false // iteration reads elements
+	case *ast.SelectorExpr:
+		// Field access stays local; a method call may retain its receiver.
+		if call, ok := skipParens(parents, p).(*ast.CallExpr); ok && ast.Unparen(call.Fun) == p {
+			return true
+		}
+		return false
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	case *ast.BinaryExpr, *ast.IfStmt, *ast.SwitchStmt, *ast.ForStmt, *ast.IncDecStmt, *ast.ExprStmt:
+		return false // condition/arithmetic reads
+	default:
+		return true // return, composite element, send, go/defer, slice expr, ...
+	}
+}
+
+// skipParens returns n's nearest non-paren ancestor.
+func skipParens(parents map[ast.Node]ast.Node, n ast.Node) ast.Node {
+	p := parents[n]
+	for {
+		if _, ok := p.(*ast.ParenExpr); !ok {
+			return p
+		}
+		p = parents[p]
+	}
+}

@@ -1,0 +1,395 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file computes the *hot region* shared by the five performance
+// rules (hotalloc, bigcopy, prealloc, deferloop, iboxing): the set of
+// functions reachable from the configured HotRoots over the shared
+// module call graph, mirroring deadlineflow's root→sink machinery.
+// Each visit keeps back-links so a finding inside a hot function can
+// carry the full root→…→function→site chain, and the BFS keeps the
+// first (shortest) path to every node, so chains are minimal and
+// deterministic. Packages in HotExemptPkgs (the model-zoo training
+// code, whose loops are the workload itself, and the opt-in telemetry
+// layer) are neither visited nor expanded — unless a function there is
+// itself a declared root.
+
+// hotSizes is the canonical size model for the perf rules' byte
+// thresholds: the 64-bit gc layout, pinned so findings don't vary with
+// the build platform.
+var hotSizes = types.SizesFor("gc", "amd64")
+
+// hotVisit is one node on a breadth-first path from a hot root, with
+// back-links to reconstruct the chain at a finding site.
+type hotVisit struct {
+	node *CallNode
+	prev *hotVisit
+	// site is the call site in prev that reached node (NoPos for roots,
+	// which are entered directly).
+	site token.Pos
+}
+
+// hotRegion maps every hot function to its first (shortest) BFS visit.
+type hotRegion struct {
+	visits map[*CallNode]*hotVisit
+}
+
+// computeHotRegion runs the breadth-first exploration from the
+// configured roots. Cheap (O(edges)), so each perf rule computes its
+// own region off the shared graph.
+func computeHotRegion(p *ModulePass) *hotRegion {
+	h := &hotRegion{visits: map[*CallNode]*hotVisit{}}
+	if len(p.Config.HotRoots) == 0 {
+		return h
+	}
+	var queue []*hotVisit
+	for _, n := range p.graph().Nodes() { // Nodes() is sorted: deterministic root order
+		if p.Config.HotRoots[n.Name()] {
+			queue = append(queue, &hotVisit{node: n})
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v.node == nil || h.visits[v.node] != nil {
+			continue
+		}
+		if p.Config.HotExemptPkgs[v.node.Pkg.ImportPath] && !p.Config.HotRoots[v.node.Name()] {
+			continue // the workload itself, not overhead: skip and don't descend
+		}
+		h.visits[v.node] = v
+		for _, e := range v.node.Out {
+			if h.visits[e.Callee] == nil {
+				queue = append(queue, &hotVisit{node: e.Callee, prev: v, site: e.Site})
+			}
+		}
+	}
+	return h
+}
+
+// eachHot invokes f over the hot functions in sorted-name order — the
+// deterministic iteration every perf rule uses.
+func (h *hotRegion) eachHot(cg *CallGraph, f func(*hotVisit)) {
+	if len(h.visits) == 0 {
+		return
+	}
+	for _, n := range cg.Nodes() {
+		if v := h.visits[n]; v != nil {
+			f(v)
+		}
+	}
+}
+
+// hotChain renders the root→…→function→site path in deadlineflow's
+// "name (file:line)" form: the root at its declaration, each hop at
+// the call site that reached it, and the finding site labeled by the
+// rule (e.g. "make", "append", "defer").
+func (p *ModulePass) hotChain(v *hotVisit, siteLabel string, sitePos token.Pos) []string {
+	var hops []*hotVisit
+	for cur := v; cur != nil; cur = cur.prev {
+		hops = append(hops, cur)
+	}
+	for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 { // reverse: root first
+		hops[i], hops[j] = hops[j], hops[i]
+	}
+	var chain []string
+	for _, hp := range hops {
+		pos := hp.site
+		if pos == token.NoPos {
+			pos = hp.node.Decl.Pos()
+		}
+		chain = append(chain, fmt.Sprintf("%s (%s)", shortFuncName(hp.node), p.shortPos(pos)))
+	}
+	return append(chain, fmt.Sprintf("%s (%s)", siteLabel, p.shortPos(sitePos)))
+}
+
+// chainRoot extracts the root function name from a rendered chain.
+func chainRoot(chain []string) string {
+	root := chain[0]
+	for i := 0; i < len(root); i++ {
+		if root[i] == ' ' {
+			return root[:i]
+		}
+	}
+	return root
+}
+
+// outermostLoops returns the outermost for/range statements lexically
+// inside body. The walk descends into nested function literals (a
+// literal built per iteration runs per iteration on the paths these
+// rules police) but not into loops — anything below an outermost loop
+// is already per-iteration.
+func outermostLoops(body *ast.BlockStmt) []ast.Stmt {
+	var loops []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, s)
+			return false
+		case *ast.RangeStmt:
+			loops = append(loops, s)
+			return false
+		}
+		return true
+	})
+	return loops
+}
+
+// eachLoopNode calls visit for every AST node that executes per
+// iteration of some loop in body: for each outermost loop, its body
+// (and, for a for statement, the post clause) is walked in full —
+// nested loops and function literals included. Init/cond clauses are
+// skipped: init runs once, and a condition that allocates is vanishing
+// rare next to the FP cost of flagging loop bounds.
+func eachLoopNode(body *ast.BlockStmt, visit func(ast.Node) bool) {
+	for _, l := range outermostLoops(body) {
+		switch s := l.(type) {
+		case *ast.ForStmt:
+			ast.Inspect(s.Body, visit)
+			if s.Post != nil {
+				ast.Inspect(s.Post, visit)
+			}
+		case *ast.RangeStmt:
+			ast.Inspect(s.Body, visit)
+		}
+	}
+}
+
+// parentMap records the parent of every node under root, for the
+// escape-lite and conditional-append analyses.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// nearestLoop walks up the parent chain from n to the innermost
+// enclosing for/range statement. unconditional reports whether every
+// hop in between is plain statement nesting — i.e. n executes on every
+// iteration, not under an if/switch/select or inside a nested function
+// literal.
+func nearestLoop(parents map[ast.Node]ast.Node, n ast.Node) (loop ast.Stmt, unconditional bool) {
+	uncond := true
+	for cur := parents[n]; cur != nil; cur = parents[cur] {
+		switch s := cur.(type) {
+		case *ast.ForStmt:
+			return s, uncond
+		case *ast.RangeStmt:
+			return s, uncond
+		case *ast.BlockStmt, *ast.LabeledStmt, *ast.AssignStmt, *ast.ExprStmt,
+			*ast.CallExpr, *ast.ParenExpr:
+			// plain nesting: no branch between n and the loop
+		default:
+			uncond = false
+		}
+	}
+	return nil, false
+}
+
+// isBuiltin reports whether call invokes the named predeclared builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// appendInfo describes one self-append site (`s = append(s, ...)`) on
+// a function-local, never-capacitied slice inside a loop.
+type appendInfo struct {
+	call  *ast.CallExpr
+	slice *types.Var
+	loop  ast.Stmt
+	// uncond: the append executes on every iteration of loop.
+	uncond bool
+	// derivable is the capacity expression (e.g. "len(xs)") when loop is
+	// a range over a pure len()-able (or integer) operand; empty when the
+	// iteration count is not statically derivable. Derivable sites belong
+	// to the prealloc rule, the rest to hotalloc's growth check.
+	derivable string
+}
+
+// selfAppends finds every `s = append(s, elems...)`-shaped statement
+// (without an actual ... spread) in fd where s is a local slice that
+// zeroCapLocal accepts.
+func selfAppends(pkg *Package, fd *ast.FuncDecl, parents map[ast.Node]ast.Node) []appendInfo {
+	info := pkg.Info
+	var out []appendInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || as.Tok != token.ASSIGN {
+			return true
+		}
+		lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isBuiltin(info, call, "append") ||
+			len(call.Args) < 2 || call.Ellipsis != token.NoPos {
+			return true
+		}
+		obj, ok := objOf(info, lhs).(*types.Var)
+		if !ok || !isSelfAppend(info, call, obj) {
+			return true
+		}
+		if !zeroCapLocal(info, fd, obj) {
+			return true
+		}
+		loop, uncond := nearestLoop(parents, as)
+		if loop == nil {
+			return true
+		}
+		ai := appendInfo{call: call, slice: obj, loop: loop, uncond: uncond}
+		if r, ok := loop.(*ast.RangeStmt); ok {
+			ai.derivable = rangeCapacity(pkg, r, obj)
+		}
+		out = append(out, ai)
+		return true
+	})
+	return out
+}
+
+// isSelfAppend reports whether e is `append(s, ...)` with s resolving
+// to obj.
+func isSelfAppend(info *types.Info, e ast.Expr, obj types.Object) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || !isBuiltin(info, call, "append") || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && objOf(info, id) == obj
+}
+
+// zeroCapLocal reports whether obj is a slice declared inside fd with
+// zero capacity (`var s []T`, `s := []T{}`, `s := []T(nil)`, or
+// `make([]T, 0)`) and never assigned whole-cloth elsewhere: a slice
+// that is ever given a make-with-capacity, a call result, or another
+// slice is considered capacity-managed and exempt.
+func zeroCapLocal(info *types.Info, fd *ast.FuncDecl, obj *types.Var) bool {
+	declared, managed := false, false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if managed {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				if info.Defs[name] != obj {
+					continue
+				}
+				switch {
+				case len(s.Values) == 0:
+					declared = true // var s []T
+				case i < len(s.Values) && zeroCapExpr(info, s.Values[i]):
+					declared = true
+				default:
+					managed = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, l := range s.Lhs {
+				id, ok := ast.Unparen(l).(*ast.Ident)
+				if !ok || objOf(info, id) != obj {
+					continue
+				}
+				if len(s.Lhs) != len(s.Rhs) {
+					managed = true // multi-value assignment from a call
+					continue
+				}
+				switch {
+				case isSelfAppend(info, s.Rhs[i], obj):
+					// growth: the pattern under analysis
+				case zeroCapExpr(info, s.Rhs[i]):
+					declared = true
+				default:
+					managed = true
+				}
+			}
+		}
+		return true
+	})
+	return declared && !managed
+}
+
+// zeroCapExpr reports whether e builds a zero-capacity slice: nil, an
+// empty slice literal, or make(..., 0).
+func zeroCapExpr(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.IsNil() {
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		if _, ok := info.TypeOf(x).Underlying().(*types.Slice); ok {
+			return len(x.Elts) == 0
+		}
+	case *ast.CallExpr:
+		if isBuiltin(info, x, "make") && len(x.Args) == 2 {
+			tv := info.Types[x.Args[1]]
+			return tv.Value != nil && tv.Value.String() == "0"
+		}
+	}
+	return false
+}
+
+// rangeCapacity returns the capacity expression statically derivable
+// from the loop's ranged operand ("len(xs)" for a pure len()-able
+// operand, the operand itself for go1.22 integer ranges), or "" when
+// the iteration count is not derivable (channels, call results, or the
+// grown slice itself).
+func rangeCapacity(pkg *Package, r *ast.RangeStmt, grown *types.Var) string {
+	x := ast.Unparen(r.X)
+	if !pureOperand(x) {
+		return ""
+	}
+	if id, ok := x.(*ast.Ident); ok && objOf(pkg.Info, id) == grown {
+		return "" // ranging the slice being grown
+	}
+	t := pkg.Info.TypeOf(x)
+	if t == nil {
+		return ""
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Map:
+		return "len(" + types.ExprString(x) + ")"
+	case *types.Basic:
+		if u.Info()&types.IsString != 0 {
+			return "len(" + types.ExprString(x) + ")"
+		}
+		if u.Info()&types.IsInteger != 0 {
+			return types.ExprString(x)
+		}
+	}
+	return ""
+}
+
+// pureOperand reports whether e is a side-effect-free operand: an
+// identifier or a chain of field selections.
+func pureOperand(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return pureOperand(x.X)
+	}
+	return false
+}

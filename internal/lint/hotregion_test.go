@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// hotRegionFor builds the call graph and hot region for one fixture
+// package under the standard fixture policy.
+func hotRegionFor(t *testing.T, name string) (*ModulePass, *hotRegion) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkg := loadFixture(t, fset, name)
+	pkgs := []*Package{pkg}
+	p := &ModulePass{
+		Fset:   fset,
+		Pkgs:   pkgs,
+		Config: fixtureConfig(),
+		Graph:  BuildCallGraph(fset, pkgs),
+	}
+	return p, computeHotRegion(p)
+}
+
+// TestHotRegionInterfaceDispatch proves the hot-region BFS follows
+// interface-dispatch edges: RunHot in the hotalloc fixture calls eval
+// only through the evaluator interface, yet (*gpEval).eval must be in
+// the region with a chain that starts at the root.
+func TestHotRegionInterfaceDispatch(t *testing.T) {
+	p, h := hotRegionFor(t, "hotalloc")
+	target := p.Graph.Lookup("(*fixture/hotalloc.gpEval).eval")
+	if target == nil {
+		t.Fatal("call graph has no node for (*fixture/hotalloc.gpEval).eval")
+	}
+	v, ok := h.visits[target]
+	if !ok {
+		t.Fatal("(*gpEval).eval not in hot region: interface dispatch edge not followed")
+	}
+	chain := p.hotChain(v, "", token.NoPos)
+	root := chainRoot(chain)
+	if !strings.Contains(root, "RunHot") {
+		t.Errorf("chain root = %q, want the declared hot root RunHot (chain: %s)",
+			root, strings.Join(chain, " -> "))
+	}
+}
+
+// TestHotRegionColdExcluded proves reachability is real, not
+// name-based: setupTable in the hotalloc fixture has the identical
+// allocation shape as the findings but no call path from any hot root,
+// so it must be outside the region and draw no findings.
+func TestHotRegionColdExcluded(t *testing.T) {
+	p, h := hotRegionFor(t, "hotalloc")
+	cold := p.Graph.Lookup("fixture/hotalloc.setupTable")
+	if cold == nil {
+		t.Fatal("call graph has no node for fixture/hotalloc.setupTable")
+	}
+	if _, ok := h.visits[cold]; ok {
+		t.Error("setupTable is in the hot region but nothing hot calls it")
+	}
+	got := Run(p.Fset, p.Pkgs, []*Analyzer{HotAlloc}, p.Config)
+	for _, f := range got {
+		if strings.Contains(f.Message, "setupTable") {
+			t.Errorf("finding attributed to cold setupTable: %s", f)
+		}
+	}
+}
+
+// TestHotRegionExemptPackages checks the HotExemptPkgs escape hatch:
+// with the fixture package exempted, the region collapses to roots
+// only (a root inside an exempt package still seeds the walk), and no
+// hot-path findings fire at all once the root set is empty.
+func TestHotRegionExemptPackages(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg := loadFixture(t, fset, "hotalloc")
+	pkgs := []*Package{pkg}
+
+	cfg := fixtureConfig()
+	cfg.HotExemptPkgs = map[string]bool{"fixture/hotalloc": true}
+	p := &ModulePass{Fset: fset, Pkgs: pkgs, Config: cfg, Graph: BuildCallGraph(fset, pkgs)}
+	h := computeHotRegion(p)
+	root := p.Graph.Lookup("fixture/hotalloc.RunHot")
+	if root == nil {
+		t.Fatal("call graph has no node for fixture/hotalloc.RunHot")
+	}
+	if _, ok := h.visits[root]; !ok {
+		t.Error("declared root dropped from region by its own package's exemption")
+	}
+	if callee := p.Graph.Lookup("fixture/hotalloc.coldPrep"); callee != nil {
+		if _, ok := h.visits[callee]; ok {
+			t.Error("exempt-package callee coldPrep still swept into the region")
+		}
+	}
+
+	noRoots := fixtureConfig()
+	noRoots.HotRoots = nil
+	p2 := &ModulePass{Fset: fset, Pkgs: pkgs, Config: noRoots, Graph: BuildCallGraph(fset, pkgs)}
+	if h2 := computeHotRegion(p2); len(h2.visits) != 0 {
+		t.Errorf("empty root set produced a region of %d nodes", len(h2.visits))
+	}
+	got := Run(fset, pkgs, []*Analyzer{HotAlloc, BigCopy, Prealloc, DeferLoop, IBoxing}, noRoots)
+	if len(got) != 0 {
+		t.Errorf("no hot roots configured, yet %d findings fired: %v", len(got), got)
+	}
+}

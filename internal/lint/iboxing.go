@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// IBoxing flags interface boxing of numeric scalars inside hot loops:
+// passing an int/float variable to an interface (or variadic ...any)
+// parameter, assigning it to an interface-typed variable, or
+// converting it with any(x). Each such conversion heap-allocates the
+// boxed value (gc interns only untyped small constants, which stay
+// quiet here) — the classic hidden cost of fmt/log calls on hot paths.
+var IBoxing = &Analyzer{
+	Name: "iboxing",
+	Doc: "no interface boxing of numeric scalars (calls, assignments, " +
+		"conversions) inside loops reachable from a hot root",
+	RunModule: runIBoxing,
+}
+
+func runIBoxing(p *ModulePass) {
+	computeHotRegion(p).eachHot(p.graph(), p.scanIBoxing)
+}
+
+func (p *ModulePass) scanIBoxing(v *hotVisit) {
+	fd := v.node.Decl
+	pkg := v.node.Pkg
+	info := pkg.Info
+	reported := map[token.Pos]bool{}
+	report := func(pos token.Pos, t types.Type, how string) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		chain := p.hotChain(v, "box", pos)
+		p.ReportChain(pos, chain,
+			"%s value boxed into %s inside a loop reachable from hot root %s (chain: %s)",
+			types.TypeString(t, types.RelativeTo(pkg.Types)), how,
+			chainRoot(chain), strings.Join(chain, " -> "))
+	}
+
+	eachLoopNode(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			p.checkBoxedCall(info, e, report)
+		case *ast.AssignStmt:
+			if len(e.Lhs) != len(e.Rhs) {
+				return true
+			}
+			for i, r := range e.Rhs {
+				lt := info.TypeOf(e.Lhs[i])
+				if lt != nil && types.IsInterface(lt) {
+					if bt := boxedNumeric(info, r); bt != nil {
+						report(r.Pos(), bt, "interface assignment")
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, val := range e.Values {
+				if i >= len(e.Names) {
+					break
+				}
+				lt := info.TypeOf(e.Names[i])
+				if lt != nil && types.IsInterface(lt) {
+					if bt := boxedNumeric(info, val); bt != nil {
+						report(val.Pos(), bt, "interface declaration")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkBoxedCall reports numeric arguments landing in interface (or
+// variadic interface-element) parameters, and any(x)-style conversions.
+func (p *ModulePass) checkBoxedCall(info *types.Info, call *ast.CallExpr, report func(token.Pos, types.Type, string)) {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion T(x): boxing only when T is an interface.
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if bt := boxedNumeric(info, call.Args[0]); bt != nil {
+				report(call.Args[0].Pos(), bt, "interface conversion")
+			}
+		}
+		return
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return // builtin or unresolvable
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice itself, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if bt := boxedNumeric(info, arg); bt != nil {
+			report(arg.Pos(), bt, "interface argument")
+		}
+	}
+}
+
+// boxedNumeric returns the numeric type of e when boxing e would
+// heap-allocate: a non-constant expression of basic numeric type.
+// Constants stay quiet (gc serves small values from a static table),
+// as do values already behind an interface.
+func boxedNumeric(info *types.Info, e ast.Expr) types.Type {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value != nil {
+		return nil
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsNumeric == 0 {
+		return nil
+	}
+	return tv.Type
+}

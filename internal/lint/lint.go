@@ -21,6 +21,11 @@
 //	lockguard    `// guarded by <mu>` fields accessed only under their mutex
 //	deadlineflow engine-phase network calls go through the fl retry layer
 //	codeccover   wire-format schema drift and un-interned protocol vocabulary
+//	hotalloc     no escaping heap allocations in loops on the hot region
+//	bigcopy      no large by-value struct/array copies in hot functions
+//	prealloc     append-in-loop with statically derivable capacity
+//	deferloop    no defer inside loops in hot functions
+//	iboxing      no numeric→interface boxing inside hot loops
 //
 // The intraprocedural rules (seededrand through goroleak) run per
 // package. The rest are interprocedural: they share a module-wide call
@@ -147,6 +152,26 @@ type Config struct {
 	// CodecPkgs vocab table — an un-interned kind silently falls back
 	// to costly direct-form string encoding on every message.
 	CodecVocabPkgs map[string]bool
+
+	// HotRoots names the entry points (FullName form) of the
+	// performance hot region: the functions whose transitive callees the
+	// perf rules (hotalloc, bigcopy, prealloc, deferloop, iboxing)
+	// police. Like DeadlineRoots, table-dispatched functions must be
+	// listed explicitly — they have no incoming call-graph edges. Empty
+	// disables the perf rules.
+	HotRoots map[string]bool
+	// HotExemptPkgs names packages whose functions never join the hot
+	// region even when reachable from a root (and through which the
+	// hot-region BFS does not descend): the model-zoo training packages
+	// are the workload itself, not protocol overhead, and the telemetry
+	// package's cost is an explicit opt-in. A function that is itself a
+	// HotRoot stays hot regardless of its package.
+	HotExemptPkgs map[string]bool
+	// BigCopyBytes is the bigcopy threshold: by-value copies and
+	// range-copies of structs/arrays of at least this many bytes (under
+	// the canonical 64-bit gc layout) are findings in hot functions.
+	// 0 disables the bigcopy rule.
+	BigCopyBytes int64
 }
 
 // DefaultConfig returns the FedForecaster policy: walltime applies to
@@ -264,6 +289,52 @@ func DefaultConfig(modulePath string) Config {
 		CodecVocabPkgs: map[string]bool{
 			modulePath + "/internal/core": true,
 		},
+		HotRoots: map[string]bool{
+			// The five engine phases: dispatched through the package-level
+			// phase table, so the call graph has no edges into them. Every
+			// per-round allocation below these multiplies by fleet size.
+			modulePath + "/internal/core.runPhaseMetaFeatures":  true,
+			modulePath + "/internal/core.runPhaseRecommend":     true,
+			modulePath + "/internal/core.runPhaseFeatureSelect": true,
+			modulePath + "/internal/core.runPhaseOptimize":      true,
+			modulePath + "/internal/core.runPhaseFinalFit":      true,
+			// Wire codec: encode/decode run once per message per client.
+			modulePath + "/internal/fl/codec.Encode":       true,
+			modulePath + "/internal/fl/codec.AppendEncode": true,
+			modulePath + "/internal/fl/codec.Decode":       true,
+			// Client-side batch evaluation and metadata rounds.
+			"(*" + modulePath + "/internal/core.ClientNode).evaluateBatch": true,
+			"(*" + modulePath + "/internal/core.ClientNode).Properties":    true,
+			// Bayesian optimization: propose/observe run every round, with
+			// a 256-candidate EI scan per search space inside.
+			"(*" + modulePath + "/internal/bayesopt.Optimizer).ProposeBatch": true,
+			"(*" + modulePath + "/internal/bayesopt.Optimizer).Propose":      true,
+			"(*" + modulePath + "/internal/bayesopt.Optimizer).Observe":      true,
+			"(*" + modulePath + "/internal/bayesopt.Optimizer).ObserveAll":   true,
+			// Dense linear-algebra and N-BEATS inner kernels.
+			"(*" + modulePath + "/internal/linalg.Matrix).Mul":     true,
+			"(*" + modulePath + "/internal/linalg.Matrix).MulVec":  true,
+			modulePath + "/internal/linalg.Dot":                    true,
+			modulePath + "/internal/linalg.Cholesky":               true,
+			modulePath + "/internal/linalg.CholeskySolve":          true,
+			"(*" + modulePath + "/internal/nbeats.Model).forward":  true,
+			"(*" + modulePath + "/internal/nbeats.Model).backward": true,
+		},
+		HotExemptPkgs: map[string]bool{
+			// The model zoo's training loops are the workload itself — the
+			// perf policy targets protocol/orchestration overhead around
+			// them, not the math they exist to do.
+			modulePath + "/internal/tree":      true,
+			modulePath + "/internal/ensemble":  true,
+			modulePath + "/internal/linmodel":  true,
+			modulePath + "/internal/classical": true,
+			modulePath + "/internal/prophet":   true,
+			modulePath + "/internal/model":     true,
+			// Telemetry: the nil-recorder fast path is the hot path; an
+			// attached recorder is an explicitly purchased tax.
+			modulePath + "/internal/obs": true,
+		},
+		BigCopyBytes: 128,
 	}
 }
 
@@ -301,6 +372,7 @@ func FixtureConfig(importPaths ...string) Config {
 		cfg.DeadlineSinkFuncs[ip+".NetCall"] = true
 		cfg.CodecPkgs[ip] = true
 		cfg.CodecVocabPkgs[ip] = true
+		cfg.HotRoots[ip+".RunHot"] = true
 	}
 	return cfg
 }
@@ -399,6 +471,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		SeededRand, FloatEq, ErrDrop, PanicFree, Walltime, MapOrder, GoroLeak,
 		PrivacyFlow, LockGuard, DeadlineFlow, CodecCover,
+		HotAlloc, BigCopy, Prealloc, DeferLoop, IBoxing,
 	}
 }
 
@@ -408,7 +481,13 @@ func Analyzers() []*Analyzer {
 // suppression comments, and returns the surviving diagnostics sorted
 // by position then rule.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, cfg Config) []Finding {
+	// Directive validation recognizes every registered rule, not just the
+	// analyzers selected for this run: a subset run (fedlint -only) must
+	// not misreport directives naming unselected rules as unknown.
 	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}

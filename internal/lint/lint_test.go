@@ -30,6 +30,7 @@ type expectation struct {
 var fixtureRules = []string{
 	"seededrand", "floateq", "errdrop", "panicfree", "walltime", "maporder",
 	"goroleak", "privacyflow", "lockguard", "deadlineflow", "codeccover",
+	"hotalloc", "bigcopy", "prealloc", "deferloop", "iboxing",
 }
 
 // loadFixture parses and type-checks testdata/src/<name> under the
@@ -145,6 +146,11 @@ func TestExactPositions(t *testing.T) {
 		{"lockguard", "c.n++ // want", "c.n"},
 		{"deadlineflow", `return NetCall(req + "!")`, "NetCall"},
 		{"codeccover", `kindMissing = "props/missing"`, "kindMissing"},
+		{"hotalloc", "row := make([]float64, n)", "make"},
+		{"bigcopy", "range items { // want bigcopy", "it"},
+		{"prealloc", "out = append(out, x*2)", "append"},
+		{"deferloop", "defer r.close() // want", "defer"},
+		{"iboxing", "var v any = x", "x"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {
@@ -246,6 +252,8 @@ func TestDirectiveValidation(t *testing.T) {
 	want := []string{
 		file + ":10:1: directive: malformed suppression: want //lint:allow <rule> <reason>",
 		file + ":13:1: directive: unknown rule nosuchrule in //lint:allow directive",
+		file + ":28:1: directive: unknown rule nosuchrule in //lint:allow directive",
+		file + ":31:1: directive: malformed suppression: empty rule in comma-separated list",
 	}
 	var gotStrs []string
 	for _, f := range got {
@@ -254,6 +262,54 @@ func TestDirectiveValidation(t *testing.T) {
 	if strings.Join(gotStrs, "\n") != strings.Join(want, "\n") {
 		t.Errorf("directive fixture findings:\n%s\nwant:\n%s",
 			strings.Join(gotStrs, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+// TestCommaSuppressionRuleExact pins the two-rules-same-position edge
+// case on the prealloc fixture: the `both` loop draws prealloc AND
+// hotalloc findings on one line (proved by TestFixtures); the `muted`
+// twin silences both with a single comma-list directive; and the
+// `half` twin's line-above directive names only hotalloc, so prealloc
+// must still fire on the very line the directive covers.
+func TestCommaSuppressionRuleExact(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg := loadFixture(t, fset, "prealloc")
+	got := Run(fset, []*Package{pkg}, Analyzers(), fixtureConfig())
+
+	lineOf := func(sub string) int {
+		data, err := os.ReadFile(filepath.Join("testdata", "src", "prealloc", "prealloc.go"))
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if strings.Contains(line, sub) {
+				return i + 1
+			}
+		}
+		t.Fatalf("fixture line %q not found", sub)
+		return 0
+	}
+	bothLine := lineOf("both = append(both,")
+	mutedLine := lineOf("muted = append(muted,")
+	halfLine := lineOf("half = append(half,")
+
+	rulesAt := func(line int) []string {
+		var rules []string
+		for _, f := range got {
+			if f.Pos.Line == line {
+				rules = append(rules, f.Rule)
+			}
+		}
+		return rules
+	}
+	if both := rulesAt(bothLine); len(both) != 2 {
+		t.Errorf("line %d (both): rules = %v, want exactly [hotalloc prealloc] in some order", bothLine, both)
+	}
+	if muted := rulesAt(mutedLine); len(muted) != 0 {
+		t.Errorf("line %d (muted): comma-list directive left findings %v, want none", mutedLine, muted)
+	}
+	if half := rulesAt(halfLine); len(half) != 1 || half[0] != "prealloc" {
+		t.Errorf("line %d (half): rules = %v, want exactly [prealloc] (hotalloc suppressed, prealloc rule-exact)", halfLine, half)
 	}
 }
 

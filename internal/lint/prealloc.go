@@ -1,0 +1,40 @@
+package lint
+
+import (
+	"strings"
+)
+
+// Prealloc flags the grow-from-nothing idiom on hot paths when the
+// final size is statically knowable: an unconditional
+// `s = append(s, ...)` inside a range loop whose operand has a
+// derivable length, on a slice declared with zero capacity. The fix is
+// mechanical — `make(..., 0, len(operand))` before the loop — and
+// turns O(log n) reallocations plus copies into one allocation.
+// Branch-guarded appends (filtering) and capacity-managed slices stay
+// quiet; unconditional growth with no derivable bound is hotalloc's
+// case, so the two rules partition append sites without overlap.
+var Prealloc = &Analyzer{
+	Name: "prealloc",
+	Doc: "append-in-loop on a zero-capacity slice where the capacity is " +
+		"statically derivable from the ranged operand",
+	RunModule: runPrealloc,
+}
+
+func runPrealloc(p *ModulePass) {
+	computeHotRegion(p).eachHot(p.graph(), p.scanPreallocs)
+}
+
+func (p *ModulePass) scanPreallocs(v *hotVisit) {
+	fd := v.node.Decl
+	parents := parentMap(fd)
+	for _, ai := range selfAppends(v.node.Pkg, fd, parents) {
+		if !ai.uncond || ai.derivable == "" {
+			continue
+		}
+		chain := p.hotChain(v, "append", ai.call.Pos())
+		p.ReportChain(ai.call.Pos(), chain,
+			"append grows %s from zero capacity on every iteration of a hot range loop "+
+				"reachable from %s; preallocate with make(..., 0, %s) before the loop (chain: %s)",
+			ai.slice.Name(), chainRoot(chain), ai.derivable, strings.Join(chain, " -> "))
+	}
+}

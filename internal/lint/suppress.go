@@ -7,12 +7,15 @@ import (
 
 // directivePrefix introduces a suppression comment:
 //
-//	//lint:allow <rule> <reason...>
+//	//lint:allow <rule>[,<rule>...] <reason...>
 //
-// It silences findings of <rule> on the same line or the line
-// immediately below (i.e. the comment may sit on the offending line
-// or directly above it). The reason is mandatory and free-form; it is
-// the reviewer-facing justification for the exception.
+// It silences findings of exactly the named rules on the same line or
+// the line immediately below (i.e. the comment may sit on the
+// offending line or directly above it). Matching is rule-exact: a line
+// hit by two different rules needs both named — one comma-separated
+// directive covers them without silencing anything else. The reason is
+// mandatory and free-form; it is the reviewer-facing justification for
+// the exception.
 const directivePrefix = "//lint:allow"
 
 // suppressions indexes the //lint:allow directives of one package:
@@ -73,9 +76,21 @@ func collectDirectives(fset *token.FileSet, pkg *Package, known map[string]bool)
 					report(pos, "malformed suppression: want //lint:allow <rule> <reason>")
 					continue
 				}
-				rule := fields[0]
-				if !known[rule] {
-					report(pos, "unknown rule "+rule+" in //lint:allow directive")
+				ruleList := strings.Split(fields[0], ",")
+				valid := true
+				for _, rule := range ruleList {
+					if rule == "" {
+						report(pos, "malformed suppression: empty rule in comma-separated list")
+						valid = false
+						break
+					}
+					if !known[rule] {
+						report(pos, "unknown rule "+rule+" in //lint:allow directive")
+						valid = false
+						break
+					}
+				}
+				if !valid {
 					continue
 				}
 				lines := sup.byLine[pos.Filename]
@@ -88,7 +103,9 @@ func collectDirectives(fset *token.FileSet, pkg *Package, known map[string]bool)
 					rules = map[string]bool{}
 					lines[pos.Line] = rules
 				}
-				rules[rule] = true
+				for _, rule := range ruleList {
+					rules[rule] = true
+				}
 			}
 		}
 	}

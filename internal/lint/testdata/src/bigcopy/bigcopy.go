@@ -1,0 +1,63 @@
+// Package bigcopy is the golden fixture for the bigcopy rule: range
+// loops and per-iteration assignments that copy structs/arrays at or
+// over the configured threshold (128 bytes under the pinned gc-amd64
+// size model) in hot functions are findings. Index-based iteration,
+// small structs, and cold functions stay quiet.
+package bigcopy
+
+// window is 4×8×8 = 256 bytes — double the threshold.
+type window struct {
+	a, b, c, d [8]float64
+}
+
+// pair is 16 bytes — far under the threshold (the no-FP size case).
+type pair struct {
+	x, y float64
+}
+
+// RunHot is the fixture's declared hot root.
+func RunHot(items []window, ps []pair) float64 {
+	sum := 0.0
+	for _, it := range items { // want bigcopy "256-byte"
+		sum += it.a[0]
+	}
+	for i := range items { // index iteration: no copy, no finding
+		sum += items[i].b[1]
+	}
+	for i := 0; i < len(items); i++ {
+		w := items[i] // want bigcopy "256-byte"
+		sum += w.c[2]
+	}
+	for _, p := range ps { // 16-byte element: under threshold, no finding
+		sum += p.x
+	}
+	for _, it := range items { //lint:allow bigcopy same-line demo: profiling shows this copy off the critical path
+		sum += it.d[3]
+	}
+	//lint:allow bigcopy line-above demo: second directive placement
+	for _, it := range items {
+		sum += it.a[1]
+	}
+	sum += coldScan(items)
+	return sum
+}
+
+// coldScan joins the hot region through the static call in RunHot;
+// its by-index body is the clean idiom and stays quiet.
+func coldScan(items []window) float64 {
+	sum := 0.0
+	for i := range items {
+		sum += items[i].d[0]
+	}
+	return sum
+}
+
+// auditTable is never reachable from RunHot: the same range-copy shape
+// as the findings above, silent because the function is cold.
+func auditTable(items []window) float64 {
+	sum := 0.0
+	for _, it := range items {
+		sum += it.a[0] + it.b[0]
+	}
+	return sum
+}

@@ -1,0 +1,50 @@
+// Package deferloop is the golden fixture for the deferloop rule: a
+// defer lexically inside a loop in a hot function runs only at
+// function return, accumulating pending calls per iteration. A defer
+// inside a function literal is scoped to the literal — the worker-body
+// idiom stays quiet — as do function-level defers and cold functions.
+package deferloop
+
+// res is a toy resource with an idempotent release.
+type res struct {
+	open bool
+}
+
+func (r *res) close() {
+	r.open = false
+}
+
+func trace() {}
+
+// RunHot is the fixture's declared hot root.
+func RunHot(rs []*res) int {
+	defer trace() // function-level defer: no finding
+	n := 0
+	for _, r := range rs {
+		defer r.close() // want deferloop "defer"
+		n++
+	}
+	for _, r := range rs {
+		func() {
+			defer r.close() // literal-scoped defer: the worker idiom, no finding
+		}()
+		n++
+	}
+	for _, r := range rs {
+		defer r.close() //lint:allow deferloop same-line demo: bounded fixture loop, audited
+		n++
+	}
+	for _, r := range rs {
+		//lint:allow deferloop line-above demo: second directive placement
+		defer r.close()
+	}
+	return n
+}
+
+// coldTeardown is never reachable from RunHot: the same defer-in-loop
+// shape, silent because the function is cold.
+func coldTeardown(rs []*res) {
+	for _, r := range rs {
+		defer r.close()
+	}
+}

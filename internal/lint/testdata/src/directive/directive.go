@@ -17,3 +17,15 @@ package directive
 
 // Noop exists so the package has a declaration.
 func Noop() {}
+
+// Comma-separated rule lists are rule-exact: both rules below are
+// known, so the directive is accepted (even when it suppresses
+// nothing). The driver test pins the lines of the two bad list
+// directives below at 28 and 31.
+//lint:allow errdrop,floateq one directive, two rules, one shared reason
+
+// An unknown rule anywhere in the list invalidates the whole directive.
+//lint:allow errdrop,nosuchrule the known prefix does not save it
+
+// An empty element in the list is malformed.
+//lint:allow errdrop,,floateq stray comma

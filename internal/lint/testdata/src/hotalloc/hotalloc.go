@@ -1,0 +1,81 @@
+// Package hotalloc is the golden fixture for the hotalloc rule:
+// escaping heap allocations inside loops reachable from the declared
+// hot root (RunHot, bound by FixtureConfig) are findings; stack-bound
+// locals, allocations outside loops, and allocations in cold functions
+// stay quiet. The eval method is reachable from RunHot only through an
+// interface-dispatch edge, exercising the hot-region BFS across
+// dynamic calls.
+package hotalloc
+
+// sink is a package-level spill target so escape-lite sees the
+// flagged allocations leave their frames.
+var sink [][]float64
+
+// evaluator models the dynamic-dispatch hop: RunHot only ever sees the
+// interface, so the BFS must resolve the edge to gpEval.eval.
+type evaluator interface {
+	eval(n int) float64
+}
+
+// gpEval is the lone implementation the interface edge resolves to.
+type gpEval struct {
+	rows [][]float64
+}
+
+func (g *gpEval) eval(n int) float64 {
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		row := make([]float64, n) // want hotalloc "make"
+		row[0] = float64(i)
+		g.rows = append(g.rows, row)
+		acc += row[0]
+	}
+	return acc
+}
+
+// RunHot is the fixture's declared hot root.
+func RunHot(e evaluator, xs []float64) float64 {
+	total := e.eval(len(xs))
+	for i, x := range xs {
+		buf := [8]float64{} // value array, never escapes: stack-bound, no finding
+		buf[0] = x
+		total += buf[0]
+		scratch := make([]float64, 8) // constant-size and frame-local: no finding
+		scratch[0] = x
+		total += scratch[0]
+		m := map[int]float64{i: x} // want hotalloc "map"
+		total += m[i]
+	}
+	for _, x := range xs {
+		tmp := make([]float64, int(x)+1) //lint:allow hotalloc same-line demo: scratch hoisting lands in the next refactor
+		sink = append(sink, tmp)
+		//lint:allow hotalloc line-above demo: second directive placement
+		tmp2 := make([]float64, int(x)+2)
+		sink = append(sink, tmp2)
+	}
+	total += float64(len(coldPrep(len(xs))))
+	return total
+}
+
+// coldPrep joins the hot region through the static call in RunHot;
+// its capacity-managed accumulator stays quiet, its per-row make does
+// not.
+func coldPrep(n int) [][]float64 {
+	out := make([][]float64, 0, n)
+	for i := 0; i < n; i++ {
+		r := make([]float64, 4) // want hotalloc "make"
+		r[0] = float64(i)
+		out = append(out, r)
+	}
+	return out
+}
+
+// setupTable is never reachable from RunHot: identical allocation
+// shape, zero findings — the no-false-positive case for cold code.
+func setupTable(n int) [][]float64 {
+	var rows [][]float64
+	for i := 0; i < n; i++ {
+		rows = append(rows, make([]float64, n))
+	}
+	return rows
+}

@@ -1,0 +1,58 @@
+// Package iboxing is the golden fixture for the iboxing rule: numeric
+// scalars boxed into interfaces inside hot loops — variadic ...any
+// arguments, interface assignments and declarations, any(x)
+// conversions — are findings. Constant arguments, string arguments,
+// numeric→numeric parameters, boxing outside loops, and cold functions
+// stay quiet.
+package iboxing
+
+// record consumes variadic any — the boxing sink.
+func record(vs ...any) int {
+	return len(vs)
+}
+
+// recordOne consumes one any.
+func recordOne(v any) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+func addInt(a, b int) int { return a + b }
+
+func labelFor(i int) string {
+	if i > 0 {
+		return "pos"
+	}
+	return "nonpos"
+}
+
+// RunHot is the fixture's declared hot root.
+func RunHot(xs []float64) int {
+	total := 0
+	for i, x := range xs {
+		total += record("sample", i, x) // want iboxing "int value" // want iboxing "float64 value"
+		var v any = x                   // want iboxing "float64 value"
+		_ = v
+		total += recordOne(labelFor(i)) // string argument: no numeric boxing, no finding
+		total += addInt(i, 3)           // numeric→numeric parameter: no finding
+	}
+	for _, x := range xs {
+		total += recordOne(x) //lint:allow iboxing same-line demo: tail telemetry, off the replay path
+		//lint:allow iboxing line-above demo: second directive placement
+		total += recordOne(x + 1)
+	}
+	total += record("done", len(xs)) // outside any loop: no finding
+	return total
+}
+
+// coldReport is never reachable from RunHot: the same boxing shape,
+// silent because the function is cold.
+func coldReport(xs []float64) int {
+	n := 0
+	for _, x := range xs {
+		n += recordOne(x)
+	}
+	return n
+}

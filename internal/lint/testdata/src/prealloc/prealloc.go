@@ -1,0 +1,63 @@
+// Package prealloc is the golden fixture for the prealloc rule:
+// unconditional append-in-range-loop on a zero-capacity slice, where
+// the capacity is derivable from the ranged operand, is a finding. A
+// make-with-capacity accumulator and a branch-guarded (filtering)
+// append are the sanctioned idioms and stay quiet. The `both` loop
+// below is hit by prealloc AND hotalloc on one line — the regression
+// case for rule-exact, comma-separated suppression directives.
+package prealloc
+
+// keep is a package-level spill target so the row buffers escape.
+var keep [][]float64
+
+// RunHot is the fixture's declared hot root.
+func RunHot(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x*2) // want prealloc "len(xs)"
+	}
+	sized := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		sized = append(sized, x+1) // capacity-managed: no finding
+	}
+	var kept []float64
+	for _, x := range xs {
+		if x > 0 {
+			kept = append(kept, x) // branch-guarded filtering: no finding
+		}
+	}
+	var both [][]float64
+	for _, x := range xs {
+		both = append(both, make([]float64, int(x)+1)) // want prealloc "len(xs)" // want hotalloc "make"
+	}
+	var muted [][]float64
+	for _, x := range xs {
+		muted = append(muted, make([]float64, int(x)+1)) //lint:allow hotalloc,prealloc one comma-list directive, both rules, rule-exact
+	}
+	var half [][]float64
+	for _, x := range xs {
+		//lint:allow hotalloc the per-row buffer is deliberate; prealloc on the next line must still fire
+		half = append(half, make([]float64, int(x)+1)) // want prealloc "len(xs)"
+	}
+	var quiet []float64
+	for _, x := range xs {
+		quiet = append(quiet, x) //lint:allow prealloc same-line demo: capacity tuned by the caller
+	}
+	keep = append(keep, both...)
+	keep = append(keep, muted...)
+	keep = append(keep, half...)
+	out = append(out, sized...)
+	out = append(out, kept...)
+	out = append(out, quiet...)
+	return out
+}
+
+// coldCollect is never reachable from RunHot: the same derivable
+// append shape, silent because the function is cold.
+func coldCollect(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x/2)
+	}
+	return out
+}

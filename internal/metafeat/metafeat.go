@@ -128,38 +128,41 @@ func Aggregate(clients []ClientFeatures) Aggregated {
 	if n == 0 {
 		return agg
 	}
-	collect := func(f func(ClientFeatures) float64) []float64 {
+	// The accessors take a pointer: ClientFeatures is a 184-byte struct
+	// and this walks it once per scalar meta-feature.
+	collect := func(f func(*ClientFeatures) float64) []float64 {
 		out := make([]float64, n)
-		for i, c := range clients {
-			out[i] = f(c)
+		for i := range clients {
+			out[i] = f(&clients[i])
 		}
 		return out
 	}
 	agg.SamplingRate = float64(clients[0].Rate)
-	stat := collect(func(c ClientFeatures) float64 { return c.Stationary })
-	agg.Instances = stats.Summarize(collect(func(c ClientFeatures) float64 { return c.NumInstances }))
-	agg.Missing = stats.Summarize(collect(func(c ClientFeatures) float64 { return c.MissingPct }))
+	stat := collect(func(c *ClientFeatures) float64 { return c.Stationary })
+	agg.Instances = stats.Summarize(collect(func(c *ClientFeatures) float64 { return c.NumInstances }))
+	agg.Missing = stats.Summarize(collect(func(c *ClientFeatures) float64 { return c.MissingPct }))
 	agg.Stationary = stats.Summarize(stat)
 	agg.StationaryEntr = stats.BinaryEntropy(stats.Mean(stat))
-	agg.StationaryDiff1 = stats.Summarize(collect(func(c ClientFeatures) float64 { return c.StationaryDiff1 }))
-	agg.StationaryDiff2 = stats.Summarize(collect(func(c ClientFeatures) float64 { return c.StationaryDiff2 }))
-	agg.SigLags = stats.Summarize(collect(func(c ClientFeatures) float64 { return c.SigLagCount }))
-	agg.InsigGaps = stats.Summarize(collect(func(c ClientFeatures) float64 { return c.InsigGapCount }))
-	agg.SeasonalCounts = stats.Summarize(collect(func(c ClientFeatures) float64 { return c.SeasonalCount }))
-	agg.Skewness = stats.Summarize(collect(func(c ClientFeatures) float64 { return c.Skewness }))
-	agg.Kurtosis = stats.Summarize(collect(func(c ClientFeatures) float64 { return c.Kurtosis }))
-	agg.FractalAvg = stats.Mean(collect(func(c ClientFeatures) float64 { return c.FractalDim }))
+	agg.StationaryDiff1 = stats.Summarize(collect(func(c *ClientFeatures) float64 { return c.StationaryDiff1 }))
+	agg.StationaryDiff2 = stats.Summarize(collect(func(c *ClientFeatures) float64 { return c.StationaryDiff2 }))
+	agg.SigLags = stats.Summarize(collect(func(c *ClientFeatures) float64 { return c.SigLagCount }))
+	agg.InsigGaps = stats.Summarize(collect(func(c *ClientFeatures) float64 { return c.InsigGapCount }))
+	agg.SeasonalCounts = stats.Summarize(collect(func(c *ClientFeatures) float64 { return c.SeasonalCount }))
+	agg.Skewness = stats.Summarize(collect(func(c *ClientFeatures) float64 { return c.Skewness }))
+	agg.Kurtosis = stats.Summarize(collect(func(c *ClientFeatures) float64 { return c.Kurtosis }))
+	agg.FractalAvg = stats.Mean(collect(func(c *ClientFeatures) float64 { return c.FractalDim }))
 
 	// Seasonal periods: min/max across all client components, plus the
 	// instance-weighted merge for feature engineering.
 	agg.PeriodMin, agg.PeriodMax = math.NaN(), math.NaN()
 	var totalInstances float64
-	for _, c := range clients {
-		totalInstances += c.NumInstances
+	for i := range clients {
+		totalInstances += clients[i].NumInstances
 	}
 	type pool struct{ periodSum, weight float64 }
 	var pools []pool
-	for _, c := range clients {
+	for ci := range clients {
+		c := &clients[ci]
 		w := c.NumInstances / totalInstances
 		for _, sc := range c.Seasonal {
 			p := float64(sc.Period)
@@ -201,7 +204,8 @@ func Aggregate(clients []ClientFeatures) Aggregated {
 	// Lag union capped by the max per-client significant-lag count.
 	maxCount := 0
 	lagSet := map[int]int{}
-	for _, c := range clients {
+	for ci := range clients {
+		c := &clients[ci]
 		if len(c.SigLags) > maxCount {
 			maxCount = len(c.SigLags)
 		}
@@ -212,7 +216,7 @@ func Aggregate(clients []ClientFeatures) Aggregated {
 	agg.GlobalSigLags = topLags(lagSet, maxCount)
 
 	// Pairwise KL from the shared histograms.
-	var kls []float64
+	kls := make([]float64, 0, n*(n-1))
 	for i := range clients {
 		for j := range clients {
 			if i == j {

@@ -224,6 +224,7 @@ func (m *Model) forward(window []float64) (forecast []float64, residuals [][]flo
 		thF := b.thetaF.Forward(h)
 		backcast := expand(thB, b.basisB, m.Cfg.BackcastLength)
 		fcast := expand(thF, b.basisF, m.Cfg.ForecastLength)
+		//lint:allow hotalloc every block's residual input is retained in residuals for the backward pass; buffers cannot be reused
 		next := make([]float64, len(x))
 		for i := range x {
 			next[i] = x[i] - backcast[i]
@@ -274,12 +275,14 @@ func contract(dout []float64, basis [][]float64, thetaDim int) []float64 {
 func (m *Model) backward(dforecast []float64) {
 	// dX is dL/d(residual input of the *next* block); zero at the end.
 	dX := make([]float64, m.Cfg.BackcastLength)
+	// dback is fully overwritten per block and read transiently by
+	// contract/Backward, so one buffer serves the whole sweep.
+	dback := make([]float64, m.Cfg.BackcastLength)
 	for bi := len(m.blocks) - 1; bi >= 0; bi-- {
 		b := m.blocks[bi]
 		// forecast path: all blocks' forecasts sum into the output.
 		dthF := contract(dforecast, b.basisF, b.thetaF.Out)
 		// backcast path: x_{next} = x − backcast ⇒ dL/dbackcast = −dX.
-		dback := make([]float64, m.Cfg.BackcastLength)
 		for i := range dback {
 			dback[i] = -dX[i]
 		}

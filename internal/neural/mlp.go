@@ -192,6 +192,7 @@ func (m *MLPClassifier) PredictProba(x [][]float64) []map[string]float64 {
 	out := make([]map[string]float64, len(x))
 	for i, row := range x {
 		probs := m.probsFor(row)
+		//lint:allow hotalloc each row's distribution map is returned to the caller; sharing one map would alias rows
 		dist := make(map[string]float64, len(m.labels))
 		for c, l := range m.labels {
 			dist[l] = probs[c]

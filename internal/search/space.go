@@ -6,10 +6,10 @@
 package search
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -62,7 +62,7 @@ func (c Config) Clone() Config {
 // String renders the configuration deterministically for logs and
 // deduplication keys.
 func (c Config) String() string {
-	var keys []string
+	keys := make([]string, 0, len(c.Values)+len(c.Cats))
 	for k := range c.Values {
 		keys = append(keys, k)
 	}
@@ -73,10 +73,16 @@ func (c Config) String() string {
 	var b strings.Builder
 	b.WriteString(c.Algorithm)
 	for _, k := range keys {
+		b.WriteByte(' ')
+		b.WriteString(k)
+		b.WriteByte('=')
 		if v, ok := c.Values[k]; ok {
-			fmt.Fprintf(&b, " %s=%.6g", k, v)
+			// strconv writes the same bytes fmt's %.6g would, without
+			// boxing the float64 — String keys every dedup lookup the
+			// optimizer makes.
+			b.WriteString(strconv.FormatFloat(v, 'g', 6, 64))
 		} else {
-			fmt.Fprintf(&b, " %s=%s", k, c.Cats[k])
+			b.WriteString(c.Cats[k])
 		}
 	}
 	return b.String()

@@ -135,11 +135,12 @@ func Difference(xs []float64, d int) []float64 {
 		if len(out) < 2 {
 			return nil
 		}
-		next := make([]float64, len(out)-1)
+		// In place on the private copy: each write lands one slot
+		// behind the reads, so one buffer serves every order.
 		for i := 1; i < len(out); i++ {
-			next[i-1] = out[i] - out[i-1]
+			out[i-1] = out[i] - out[i-1]
 		}
-		out = next
+		out = out[:len(out)-1]
 	}
 	return out
 }

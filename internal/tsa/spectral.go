@@ -113,7 +113,8 @@ func DetectSeasonalities(xs []float64, maxComponents int) []SeasonalComponent {
 		period   int
 		strength float64
 	}
-	var peaks []peak
+	// At most every other bin is a local maximum.
+	peaks := make([]peak, 0, len(power)/2)
 	for i := 1; i < len(power)-1; i++ {
 		if power[i] <= power[i-1] || power[i] < power[i+1] {
 			continue
@@ -129,7 +130,7 @@ func DetectSeasonalities(xs []float64, maxComponents int) []SeasonalComponent {
 	}
 	sort.Slice(peaks, func(i, j int) bool { return peaks[i].strength > peaks[j].strength })
 
-	var out []SeasonalComponent
+	out := make([]SeasonalComponent, 0, maxComponents)
 	for _, p := range peaks {
 		dup := false
 		for _, o := range out {
@@ -223,7 +224,8 @@ func HiguchiFD(xs []float64, kMax int) float64 {
 	if kMax > n/2 {
 		kMax = n / 2
 	}
-	var logk, logl []float64
+	logk := make([]float64, 0, kMax)
+	logl := make([]float64, 0, kMax)
 	for k := 1; k <= kMax; k++ {
 		var lk float64
 		for m := 0; m < k; m++ {

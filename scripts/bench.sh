@@ -13,6 +13,10 @@
 # aggregator attached, and with a metrics+JSONL fan-out, so the
 # telemetry tax stays visible next to the protocol numbers.
 #
+# All benchmarks run under -benchmem, so every JSON row also carries
+# bytes_per_op and allocs_per_op — the numbers the perflint retrofit
+# (hotalloc/bigcopy/prealloc/deferloop/iboxing) is accounted against.
+#
 # The JSON is one object with three lists:
 #   {"engine_rounds": [...one object per q...],
 #    "wire_formats": [...one object per wire format, all at q=8...],
@@ -27,8 +31,8 @@ cd "$(dirname "$0")/.."
 benchtime="${BENCHTIME:-1x}"
 out="BENCH_engine.json"
 
-echo "==> go test -bench='EngineRounds|EngineWire|RecorderOverhead' -benchtime=$benchtime ./internal/core/"
-raw="$(go test -bench='EngineRounds|EngineWire|RecorderOverhead' -benchtime="$benchtime" -run '^$' ./internal/core/)"
+echo "==> go test -bench='EngineRounds|EngineWire|RecorderOverhead' -benchmem -benchtime=$benchtime ./internal/core/"
+raw="$(go test -bench='EngineRounds|EngineWire|RecorderOverhead' -benchmem -benchtime="$benchtime" -run '^$' ./internal/core/)"
 echo "$raw"
 
 echo "$raw" | awk '
@@ -37,41 +41,47 @@ BEGIN { nr = 0; nw = 0; no = 0 }
     split($1, parts, "=")
     sub(/-[0-9]+$/, "", parts[2])   # strip the -GOMAXPROCS suffix
     q = parts[2]
-    nsop = ""; evalrounds = ""; rounds = ""; bytesdown = ""; bytesup = ""
+    nsop = ""; evalrounds = ""; rounds = ""; bytesdown = ""; bytesup = ""; bop = ""; aop = ""
     for (i = 2; i < NF; i++) {
         if ($(i+1) == "ns/op")      nsop = $i
         if ($(i+1) == "evalrounds") evalrounds = $i
         if ($(i+1) == "rounds")     rounds = $i
         if ($(i+1) == "bytesdown")  bytesdown = $i
         if ($(i+1) == "bytesup")    bytesup = $i
+        if ($(i+1) == "B/op")       bop = $i
+        if ($(i+1) == "allocs/op")  aop = $i
     }
-    rows[nr++] = sprintf("    {\"q\": %s, \"ns_per_op\": %s, \"eval_rounds\": %s, \"rounds\": %s, \"bytes_down\": %s, \"bytes_up\": %s}", \
-        q, nsop, evalrounds, rounds, bytesdown, bytesup)
+    rows[nr++] = sprintf("    {\"q\": %s, \"ns_per_op\": %s, \"eval_rounds\": %s, \"rounds\": %s, \"bytes_down\": %s, \"bytes_up\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        q, nsop, evalrounds, rounds, bytesdown, bytesup, bop, aop)
 }
 /^BenchmarkEngineWire\// {
     split($1, parts, "=")
     sub(/-[0-9]+$/, "", parts[2])   # strip the -GOMAXPROCS suffix
     wire = parts[2]
-    nsop = ""; evalrounds = ""; rounds = ""; bytesdown = ""; bytesup = ""
+    nsop = ""; evalrounds = ""; rounds = ""; bytesdown = ""; bytesup = ""; bop = ""; aop = ""
     for (i = 2; i < NF; i++) {
         if ($(i+1) == "ns/op")      nsop = $i
         if ($(i+1) == "evalrounds") evalrounds = $i
         if ($(i+1) == "rounds")     rounds = $i
         if ($(i+1) == "bytesdown")  bytesdown = $i
         if ($(i+1) == "bytesup")    bytesup = $i
+        if ($(i+1) == "B/op")       bop = $i
+        if ($(i+1) == "allocs/op")  aop = $i
     }
-    wrows[nw++] = sprintf("    {\"q\": 8, \"wire\": \"%s\", \"ns_per_op\": %s, \"eval_rounds\": %s, \"rounds\": %s, \"bytes_down\": %s, \"bytes_up\": %s}", \
-        wire, nsop, evalrounds, rounds, bytesdown, bytesup)
+    wrows[nw++] = sprintf("    {\"q\": 8, \"wire\": \"%s\", \"ns_per_op\": %s, \"eval_rounds\": %s, \"rounds\": %s, \"bytes_down\": %s, \"bytes_up\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        wire, nsop, evalrounds, rounds, bytesdown, bytesup, bop, aop)
 }
 /^BenchmarkRecorderOverhead\// {
     split($1, parts, "/")
     sub(/-[0-9]+$/, "", parts[2])   # strip the -GOMAXPROCS suffix
     mode = parts[2]
-    nsop = ""
+    nsop = ""; bop = ""; aop = ""
     for (i = 2; i < NF; i++) {
-        if ($(i+1) == "ns/op") nsop = $i
+        if ($(i+1) == "ns/op")     nsop = $i
+        if ($(i+1) == "B/op")      bop = $i
+        if ($(i+1) == "allocs/op") aop = $i
     }
-    orows[no++] = sprintf("    {\"recorder\": \"%s\", \"ns_per_op\": %s}", mode, nsop)
+    orows[no++] = sprintf("    {\"recorder\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", mode, nsop, bop, aop)
 }
 END {
     print "{"

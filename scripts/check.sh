@@ -17,6 +17,11 @@
 # schedules the suite happens to run; the static rules hold on every
 # path, so the two layers are complementary, not redundant.
 #
+# The perflint step re-runs just the hot-path performance rules
+# (hotalloc/bigcopy/prealloc/deferloop/iboxing — see DESIGN.md
+# "Performance policy as code") so a perf-policy regression is named
+# as such in the log, not buried in the all-rules step.
+#
 # Usage:
 #   scripts/check.sh          # build, test, race-test everything
 #   scripts/check.sh -quick   # race-test only the concurrency-heavy
@@ -43,6 +48,9 @@ go run ./cmd/fedlint ./internal/obs
 
 echo "==> fedlint ./... (all rules, incl. lockguard/goroleak/deadlineflow/codeccover)"
 go run ./cmd/fedlint ./...
+
+echo "==> fedlint -only hotalloc,bigcopy,prealloc,deferloop,iboxing ./... (perf policy)"
+go run ./cmd/fedlint -only hotalloc,bigcopy,prealloc,deferloop,iboxing ./...
 
 echo "==> go test ./..."
 go test ./...
