@@ -43,6 +43,9 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress the human-readable phase trace (-obs-addr/-trace-out sinks stay on)")
 
 		batch       = flag.Int("batch", 1, "candidate configurations per evaluation round (1 = paper's sequential loop; >1 enables constant-liar q-EI batching)")
+		space       = flag.String("space", "chain", "search space over pipeline shape: chain (the paper's fixed engineer→model pipeline) or graph (BO also proposes smoothing/differencing pre-transforms and a merged second regressor arm)")
+		cvFolds     = flag.Int("cv", 1, "rolling-origin cross-validation folds over the validation span (1 = the paper's single split)")
+		cvBlocks    = flag.Int("cv-blocks", 1, "validation blocks per CV fold window (only with -cv > 1)")
 		callTimeout = flag.Duration("call-timeout", 0, "per-client call deadline, e.g. 30s (0 = wait forever)")
 		maxRetries  = flag.Int("max-retries", 0, "retries per failed client call (exponential backoff + jitter)")
 		minClients  = flag.Float64("min-client-fraction", 0, "quorum fraction in (0,1]: rounds succeed when ≥ this fraction of clients respond (0 = require all)")
@@ -88,6 +91,12 @@ func main() {
 	if *minClients < 0 || *minClients > 1 {
 		log.Fatalf("-min-client-fraction %v out of range (0,1]", *minClients)
 	}
+	if *space != "chain" && *space != "graph" {
+		log.Fatalf("-space %q: want chain or graph", *space)
+	}
+	if *cvFolds < 1 {
+		log.Fatalf("-cv %d: want ≥ 1", *cvFolds)
+	}
 	opts := fedforecaster.Options{
 		Iterations:        *iters,
 		TopK:              *topK,
@@ -97,6 +106,9 @@ func main() {
 		MaxRetries:        *maxRetries,
 		MinClientFraction: *minClients,
 		Wire:              *wire,
+		StructureSearch:   *space == "graph",
+		CVFolds:           *cvFolds,
+		CVBlocks:          *cvBlocks,
 	}
 	// -quiet silences only the human-readable trace; typed telemetry
 	// sinks (-obs-addr, -trace-out) observe the run either way.

@@ -83,6 +83,23 @@ type Options struct {
 	// ValidFrac/TestFrac are the chronological split fractions
 	// (defaults 0.15/0.15).
 	ValidFrac, TestFrac float64
+	// CVFolds > 1 evaluates optimization candidates with rolling-origin
+	// cross-validation over the validation span (CVFolds windows of
+	// CVBlocks blocks each) instead of the single train/valid split;
+	// per-fold losses aggregate rows-weighted on each client before the
+	// Equation-1 aggregation across clients. 0 or 1 keeps the paper's
+	// single split byte-for-byte. Test reporting is never
+	// cross-validated.
+	CVFolds int
+	// CVBlocks sets the blocks per CV fold window (default 1; only
+	// meaningful with CVFolds > 1).
+	CVBlocks int
+	// StructureSearch lets the optimizer propose pipeline structure —
+	// a trailing smoothing/differencing pre-transform and an optional
+	// fixed second regressor arm merged by mean — alongside
+	// hyper-parameters (the pipeline-graph extension). Off keeps the
+	// paper's fixed engineer→model chain.
+	StructureSearch bool
 	// Seed drives all randomness.
 	Seed int64
 	// DisableFeatureSelection turns off the federated RF selection.
@@ -153,6 +170,11 @@ func (o Options) engineConfig() (core.EngineConfig, error) {
 	if o.TestFrac > 0 {
 		cfg.Splits.TestFrac = o.TestFrac
 	}
+	if o.CVFolds > 1 {
+		cfg.Splits.CVFolds = o.CVFolds
+		cfg.Splits.ValidationBlocks = o.CVBlocks
+	}
+	cfg.StructureSearch = o.StructureSearch
 	cfg.Seed = o.Seed
 	cfg.FeatureSelection = !o.DisableFeatureSelection
 	cfg.ExogChannels = o.ExogChannels

@@ -48,7 +48,7 @@ type evalCache struct {
 	fingerprint string
 	eng         *features.Engineer
 	splits      pipeline.Splits
-	phases      map[string]*pipeline.PhaseData
+	phases      map[string]*pipeline.GraphPhase
 	phaseErrs   map[string]error
 }
 
@@ -191,38 +191,40 @@ func (c *ClientNode) prepare(req fl.Message) (fl.Message, error) {
 		fingerprint: fp,
 		eng:         decodeEngineer(req),
 		splits:      decodeSplits(req),
-		phases:      map[string]*pipeline.PhaseData{},
+		phases:      map[string]*pipeline.GraphPhase{},
 		phaseErrs:   map[string]error{},
 	}
 	return resp, nil
 }
 
-// phaseData returns the cached matrices for (fingerprint, phase),
+// phaseData returns the cached fold matrices for (fingerprint, phase),
 // building them on first use. Build outcomes (including errors) are
-// memoized so repeated rounds never redo the work.
-func (c *ClientNode) phaseData(fp, phase string) (*pipeline.PhaseData, error) {
+// memoized so repeated rounds never redo the work. The GraphPhase's
+// own per-node cache fills lazily as structure-search candidates visit
+// transformed branches, all under this one fingerprint+phase slot.
+func (c *ClientNode) phaseData(fp, phase string) (*pipeline.GraphPhase, error) {
 	c.cacheMu.Lock()
 	defer c.cacheMu.Unlock()
 	if c.cache == nil || c.cache.fingerprint != fp {
 		return nil, errUnknownFingerprint
 	}
-	if pd, ok := c.cache.phases[phase]; ok {
+	if gp, ok := c.cache.phases[phase]; ok {
 		if c.rec != nil {
 			c.rec.Record(obs.ClientCache{Client: c.id, Phase: phase, Hit: true})
 		}
-		return pd, c.cache.phaseErrs[phase]
+		return gp, c.cache.phaseErrs[phase]
 	}
 	var buildStartNS int64
 	if c.rec != nil {
 		buildStartNS = obs.NowNanos()
 	}
-	pd, err := pipeline.BuildPhaseData(c.series, c.cache.eng, c.cache.splits, phase)
+	gp, err := pipeline.BuildGraphPhase(c.series, c.cache.eng, c.cache.splits, phase)
 	if c.rec != nil {
 		c.rec.Record(obs.ClientCache{Client: c.id, Phase: phase, Hit: false, BuildNS: obs.NowNanos() - buildStartNS})
 	}
-	c.cache.phases[phase] = pd
+	c.cache.phases[phase] = gp
 	c.cache.phaseErrs[phase] = err
-	return pd, err
+	return gp, err
 }
 
 // evaluateBatch answers a v2 evaluation round: every candidate in the
@@ -231,7 +233,7 @@ func (c *ClientNode) phaseData(fp, phase string) (*pipeline.PhaseData, error) {
 // reported in candidate order — scheduling never reorders them.
 func (c *ClientNode) evaluateBatch(req fl.Message, phase string) (fl.Message, error) {
 	resp := fl.NewMessage(req.Kind + "/done")
-	pd, err := c.phaseData(req.Strings[keyFingerprint], phase)
+	gp, err := c.phaseData(req.Strings[keyFingerprint], phase)
 	if err != nil {
 		switch {
 		case errors.Is(err, errUnknownFingerprint):
@@ -268,7 +270,7 @@ func (c *ClientNode) evaluateBatch(req fl.Message, phase string) (fl.Message, er
 			defer wg.Done()
 			for i := range next {
 				var n int
-				losses[i], n, errs[i] = c.evalCandidate(pd, cfgs[i], i)
+				losses[i], n, errs[i] = c.evalCandidate(gp, cfgs[i], i)
 				rows[i] = float64(n)
 			}
 		}()
@@ -292,12 +294,12 @@ func (c *ClientNode) evaluateBatch(req fl.Message, phase string) (fl.Message, er
 // evalCandidate scores one batch candidate with its derived seed,
 // reporting per-candidate evaluation time when telemetry is live (the
 // nil-recorder fast path adds no timing calls).
-func (c *ClientNode) evalCandidate(pd *pipeline.PhaseData, cfg search.Config, i int) (float64, int, error) {
+func (c *ClientNode) evalCandidate(gp *pipeline.GraphPhase, cfg search.Config, i int) (float64, int, error) {
 	if c.rec == nil {
-		return pd.Loss(cfg, evalSeed(c.seed, i))
+		return gp.Loss(cfg, evalSeed(c.seed, i))
 	}
 	startNS := obs.NowNanos()
-	loss, n, err := pd.Loss(cfg, evalSeed(c.seed, i))
+	loss, n, err := gp.Loss(cfg, evalSeed(c.seed, i))
 	c.rec.Record(obs.CandidateEval{Client: c.id, Index: i, EvalNS: obs.NowNanos() - startNS, Loss: loss})
 	return loss, n, err
 }

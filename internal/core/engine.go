@@ -51,6 +51,12 @@ type EngineConfig struct {
 	UseBayesOpt bool
 	// Spaces overrides the Table 2 search space (nil = default).
 	Spaces []search.Space
+	// StructureSearch widens every search space with the pipeline-graph
+	// structure categoricals (search.WithStructure): BO then proposes
+	// the pre-transform and second-arm shape alongside hyper-parameters,
+	// and clients evaluate the encoded graph against their cached fold
+	// matrices. Off (the default) keeps the paper's fixed chain.
+	StructureSearch bool
 	// ExogChannels names exogenous series channels every client carries
 	// (multivariate extension); their lag-1 values join the feature
 	// schema.
@@ -378,6 +384,12 @@ func runPhaseRecommend(rc *roundContext) error {
 	} else {
 		rc.note("phase II: no meta-model, searching the full space")
 	}
+	if e.Cfg.StructureSearch {
+		// Widen after the meta-model restriction so structure dimensions
+		// ride on whichever algorithm families were recommended.
+		spaces = search.WithStructure(spaces)
+		rc.note("phase II: structure search over pipeline graphs enabled")
+	}
 	rc.spaces = spaces
 	return nil
 }
@@ -431,6 +443,14 @@ func runPhaseOptimize(rc *roundContext) error {
 			v := u[:sp.Dim()]
 			for i := range v {
 				v[i] = 0.5
+			}
+			// Structure dimensions warm-start at their first choice
+			// ("none"): the degenerate chain anchors the search at the
+			// paper's pipeline before BO explores graph shapes.
+			for i, p := range sp.Params {
+				if search.IsStructureParam(p.Name) {
+					v[i] = 0
+				}
 			}
 			warm = append(warm, sp.Decode(v))
 		}

@@ -205,6 +205,11 @@ func decodeBatch(msg fl.Message) []search.Config {
 const (
 	keyFingerprint = "fingerprint"
 	keyBatch       = "batch"
+	// Rolling-origin CV settings, shipped with the split fractions only
+	// when cross-validation is enabled (CVFolds > 1) so single-split
+	// rounds stay byte-identical to the pre-CV wire format.
+	keyCVFolds          = "cv_folds"
+	keyValidationBlocks = "validation_blocks"
 )
 
 // engineerFingerprint content-addresses the frozen engineer schema and
@@ -234,6 +239,12 @@ func engineerFingerprint(eng *features.Engineer, s pipeline.Splits) string {
 	fmt.Fprintf(&b, "keepnil:%t|keep:%v|", eng.Keep == nil, eng.Keep)
 	fmt.Fprintf(&b, "splits:%016x:%016x",
 		math.Float64bits(s.ValidFrac), math.Float64bits(s.TestFrac))
+	if s.CVFolds > 1 {
+		// CV settings reshape the cached fold matrices, so they are part
+		// of the schema identity; the suffix is omitted when disabled so
+		// single-split fingerprints match the pre-CV bytes exactly.
+		fmt.Fprintf(&b, "|cv:%d:%d", s.CVFolds, s.ValidationBlocks)
+	}
 	h := fnv.New64a()
 	//lint:allow errdrop fnv's Write is documented to never fail
 	h.Write([]byte(b.String()))
@@ -253,16 +264,24 @@ func evalSeed(base int64, i int) int64 {
 	return base ^ int64(uint64(i)*0x9e3779b97f4a7c15)
 }
 
-// encodeSplits/decodeSplits carry the chronological split fractions.
+// encodeSplits/decodeSplits carry the chronological split fractions
+// and, only when enabled, the rolling-origin CV settings (absent keys
+// decode to zero, i.e. single-split).
 func encodeSplits(msg *fl.Message, s pipeline.Splits) {
 	msg.Scalars["valid_frac"] = s.ValidFrac
 	msg.Scalars["test_frac"] = s.TestFrac
+	if s.CVFolds > 1 {
+		msg.Scalars[keyCVFolds] = float64(s.CVFolds)
+		msg.Scalars[keyValidationBlocks] = float64(s.ValidationBlocks)
+	}
 }
 
 func decodeSplits(msg fl.Message) pipeline.Splits {
 	return pipeline.Splits{
-		ValidFrac: msg.Scalars["valid_frac"],
-		TestFrac:  msg.Scalars["test_frac"],
+		ValidFrac:        msg.Scalars["valid_frac"],
+		TestFrac:         msg.Scalars["test_frac"],
+		CVFolds:          int(msg.Scalars[keyCVFolds]),
+		ValidationBlocks: int(msg.Scalars[keyValidationBlocks]),
 	}
 }
 

@@ -131,7 +131,20 @@ func fixtureMessages() []Message {
 	odd.Floats["short"] = []float64{math.Inf(1)} // below quantMinLen and non-finite: always dense
 	odd.Floats["empty"] = []float64{}            // Normalize collapses to nil
 
-	return []Message{zero, rangeMsg, config, tensors, odd}
+	// A structure-search evaluation round: graph-spec categoricals per
+	// candidate plus rolling-origin CV settings riding the splits.
+	graph := NewMessage("eval/prepare")
+	graph.Strings["fingerprint"] = "00f7c2d9aa51e3b4"
+	graph.Strings["0:c:g:pre"] = "smooth5"
+	graph.Strings["0:c:g:arm2"] = "tree"
+	graph.Strings["1:c:g:pre"] = "none"
+	graph.Strings["1:c:g:arm2"] = "linear"
+	graph.Scalars["cv_folds"] = 3
+	graph.Scalars["validation_blocks"] = 2
+	graph.Scalars["valid_frac"] = 0.15
+	graph.Scalars["test_frac"] = 0.15
+
+	return []Message{zero, rangeMsg, config, tensors, odd, graph}
 }
 
 // TestLosslessRoundTripIdentity: decode(encode(m)) == Normalize(m) for

@@ -19,11 +19,14 @@ import "strings"
 //     back-reference distances (and their Huffman codes) are shortest.
 //
 // The table is part of wire format v1: both ends derive the indices
-// and the dictionary from this list, so any edit — adding, removing,
-// or reordering an entry — is a wire-format change and must bump the
-// version byte. The golden fixtures under testdata/ pin the current
-// assignment. The list must stay under 128 entries so every reference
-// fits in a single uvarint byte.
+// and the dictionary from this list. Removing or reordering entries
+// breaks every assigned index and must bump the version byte;
+// appending at the tail keeps existing indices (and all uncompressed
+// frames) stable but still alters the preset dictionary, so it
+// requires regenerating the golden fixtures under testdata/ in the
+// same change. The list must stay under 128 entries so every
+// reference fits in a single uvarint byte (the pinned policy ceiling
+// is 96 — see TestVocabFitsDirectForm).
 var vocab = []string{
 	// Rare: engine/protocol bookkeeping keys.
 	"fingerprint", "need_prepare", "batch", "skipped", "cached", "keep",
@@ -57,6 +60,13 @@ var vocab = []string{
 	// many times per round.
 	"algorithm", "flags", "size", "rows",
 	"losses", "loss", "lo", "hi", "id",
+	// Pipeline-graph extension (appended: earlier indices are frozen).
+	// Rolling-origin CV settings ride the split fractions; structure
+	// categoricals ship per candidate as "c:g:pre"/"c:g:arm2" with
+	// their template-grammar choices as values.
+	"cv_folds", "validation_blocks",
+	"c:g:pre", "c:g:arm2", "none",
+	"smooth3", "smooth5", "diff1", "linear", "tree",
 }
 
 var (

@@ -33,6 +33,7 @@ func goldenCases() []struct {
 		{"range.v1", fix[1], Options{}},
 		{"config.v1", fix[2], Options{}},
 		{"odd.v1", fix[4], Options{}},
+		{"graph.v1", fix[5], Options{}},
 		{"tensors.v1", fix[3], Options{}},
 		{"tensors.v1q8", fix[3], Options{Quant: QuantInt8}},
 		{"tensors.v1q16", fix[3], Options{Quant: QuantFloat16}},

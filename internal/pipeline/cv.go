@@ -1,0 +1,45 @@
+package pipeline
+
+// Fold is one rolling-origin cross-validation fold over a client's
+// chronological rows: a candidate may fit on rows [0, FitEnd) — the
+// expanding window — and is scored on rows [FitEnd, ScoreEnd). Folds
+// are produced by Splits.Folds and always satisfy FitEnd ≤ ScoreEnd
+// with consecutive folds advancing the origin, so no scored row is
+// ever visible to the model that predicts it.
+type Fold struct {
+	FitEnd   int
+	ScoreEnd int
+}
+
+// Folds returns the "valid"-phase evaluation folds for a series of
+// length n. With CVFolds ≤ 1 this is exactly the single Bounds split —
+// fit on [0, trainEnd), score on [trainEnd, validEnd) — byte-identical
+// to the paper's protocol. With CVFolds = F > 1 the validation span is
+// cut into F rolling-origin windows of ValidationBlocks × blockLen
+// rows each, aligned to the end of the span so the most recent rows
+// are always scored; fold k fits on everything before its window.
+// When the span has fewer than F × ValidationBlocks rows the request
+// degrades to the single split rather than scoring empty windows.
+func (s Splits) Folds(n int) []Fold {
+	trainEnd, validEnd := s.Bounds(n)
+	f := s.CVFolds
+	if f <= 1 {
+		return []Fold{{FitEnd: trainEnd, ScoreEnd: validEnd}}
+	}
+	b := s.ValidationBlocks
+	if b < 1 {
+		b = 1
+	}
+	block := (validEnd - trainEnd) / (f * b)
+	if block < 1 {
+		return []Fold{{FitEnd: trainEnd, ScoreEnd: validEnd}}
+	}
+	window := b * block
+	start := validEnd - f*window // trailing alignment: score the newest rows
+	folds := make([]Fold, f)
+	for k := range folds {
+		at := start + k*window
+		folds[k] = Fold{FitEnd: at, ScoreEnd: at + window}
+	}
+	return folds
+}

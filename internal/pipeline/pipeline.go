@@ -24,6 +24,16 @@ import (
 type Splits struct {
 	ValidFrac float64 // default 0.15
 	TestFrac  float64 // default 0.15
+
+	// CVFolds, when > 1, evaluates "valid"-phase candidates with
+	// rolling-origin cross-validation over the validation span (see
+	// Folds) instead of the single train/valid split. 0 or 1 keeps the
+	// paper's single-split protocol byte-for-byte. The "test" phase is
+	// never cross-validated.
+	CVFolds int
+	// ValidationBlocks sets how many contiguous blocks make up each CV
+	// fold's scoring window (≥ 1; meaningful only when CVFolds > 1).
+	ValidationBlocks int
 }
 
 func (s Splits) normalized() Splits {
@@ -78,28 +88,36 @@ type PhaseData struct {
 // arithmetic is exactly the former ClientLoss preamble, factored out so
 // the result can be cached and reused across candidates.
 func BuildPhaseData(s *timeseries.Series, eng *features.Engineer, splits Splits, phase string) (*PhaseData, error) {
-	n := s.Len()
-	trainEnd, validEnd := splits.Bounds(n)
-	// The trend model may not look beyond the fitting region.
-	fitLen := trainEnd
+	trainEnd, validEnd := splits.Bounds(s.Len())
 	if phase == "test" {
-		fitLen = validEnd
+		return buildRange(s, eng, validEnd, s.Len())
 	}
-	ds, err := eng.Build(s, fitLen)
+	return buildRange(s, eng, trainEnd, validEnd)
+}
+
+// buildRange engineers one fit/score window: the trend model fits on
+// rows [0, fitEnd) only (no look-ahead), candidates train on the same
+// rows and score on [fitEnd, scoreEnd). This is the former
+// BuildPhaseData body generalized to arbitrary rolling-origin bounds.
+func buildRange(s *timeseries.Series, eng *features.Engineer, fitEnd, scoreEnd int) (*PhaseData, error) {
+	ds, err := eng.Build(s, fitEnd)
 	if err != nil {
 		return nil, err
 	}
-	off := eng.MaxLag()
-	fitRows := fitLen - off
-	scoreEnd := validEnd - off
-	if phase == "test" {
-		scoreEnd = n - off
-	}
-	if fitRows < 4 || scoreEnd <= fitRows {
+	return splitRange(ds, eng.MaxLag(), fitEnd, scoreEnd)
+}
+
+// splitRange cuts a built dataset into fit and score rows for the
+// window [fitEnd, scoreEnd), shared by the raw build and by
+// transformed-branch rebuilds so every branch applies one arithmetic.
+func splitRange(ds *model.Dataset, off, fitEnd, scoreEnd int) (*PhaseData, error) {
+	fitRows := fitEnd - off
+	scoreEndRows := scoreEnd - off
+	if fitRows < 4 || scoreEndRows <= fitRows {
 		return nil, ErrNotEnoughData
 	}
 	train, rest := ds.Split(fitRows)
-	scoreRows := scoreEnd - fitRows
+	scoreRows := scoreEndRows - fitRows
 	if scoreRows > rest.Len() {
 		scoreRows = rest.Len()
 	}
@@ -111,51 +129,67 @@ func BuildPhaseData(s *timeseries.Series, eng *features.Engineer, splits Splits,
 // loss — the model-dependent tail of the former ClientLoss, so cached
 // and freshly built matrices produce bit-identical losses.
 func (pd *PhaseData) Loss(cfg search.Config, seed int64) (loss float64, nRows int, err error) {
-	m, err := search.Instantiate(cfg, seed)
+	preds, err := fitPredict(pd, cfg, seed)
 	if err != nil {
 		return 0, 0, err
 	}
-	if err := m.Fit(pd.Train.X, pd.Train.Y); err != nil {
-		return 0, 0, fmt.Errorf("pipeline: fitting %s: %w", cfg.Algorithm, err)
+	return model.MSE(preds, pd.Score.Y), pd.Score.Len(), nil
+}
+
+// fitPredict is the regressor-leaf evaluation shared by the linear
+// chain and graph arms: fit cfg on the window's training rows and
+// return raw score-row predictions (merge nodes combine arms before
+// the MSE).
+func fitPredict(pd *PhaseData, cfg search.Config, seed int64) ([]float64, error) {
+	m, err := search.Instantiate(cfg, seed)
+	if err != nil {
+		return nil, err
 	}
-	return model.MSE(m.Predict(pd.Score.X), pd.Score.Y), pd.Score.Len(), nil
+	if err := m.Fit(pd.Train.X, pd.Train.Y); err != nil {
+		return nil, fmt.Errorf("pipeline: fitting %s: %w", cfg.Algorithm, err)
+	}
+	return m.Predict(pd.Score.X), nil
 }
 
 // ClientLoss fits cfg on one client's training rows and returns the
 // loss on the requested segment. phase selects the scored rows:
 // "valid" (optimization) or "test" (final reporting; the model then
-// trains on train+valid). It is BuildPhaseData + Loss; callers that
-// evaluate many configurations against one schema should build the
-// PhaseData once instead.
+// trains on train+valid). It is BuildGraphPhase + Loss — the universal
+// entry point that honours cfg's structure categoricals and the
+// splits' rolling-origin CV settings, degenerating bit-identically to
+// the former BuildPhaseData + PhaseData.Loss for chain configs on a
+// single split. Callers that evaluate many configurations against one
+// schema should build the GraphPhase once instead.
 func ClientLoss(s *timeseries.Series, eng *features.Engineer, cfg search.Config,
 	splits Splits, phase string, seed int64) (loss float64, nRows int, err error) {
-	pd, err := BuildPhaseData(s, eng, splits, phase)
+	gp, err := BuildGraphPhase(s, eng, splits, phase)
 	if err != nil {
 		return 0, 0, err
 	}
-	return pd.Loss(cfg, seed)
+	return gp.Loss(cfg, seed)
 }
 
 // GlobalLoss evaluates cfg across all client splits and aggregates the
 // losses weighted by client sizes (Equation 1). Clients whose splits
-// are too small are skipped; if every client is skipped an error is
-// returned.
+// are too small are skipped; if every client is skipped the joined
+// per-client errors (each naming its client index) are returned so
+// multi-client failures stay diagnosable.
 func GlobalLoss(clients []*timeseries.Series, eng *features.Engineer, cfg search.Config,
 	splits Splits, phase string, seed int64) (float64, error) {
 	var losses, sizes []float64
-	var lastErr error
+	var errs []error
 	for i, s := range clients {
 		loss, _, err := ClientLoss(s, eng, cfg, splits, phase, seed+int64(i))
 		if err != nil {
-			lastErr = err
+			errs = append(errs, fmt.Errorf("client %d: %w", i, err))
 			continue
 		}
 		losses = append(losses, loss)
 		sizes = append(sizes, float64(s.Len()))
 	}
 	if len(losses) == 0 {
-		if lastErr != nil {
-			return 0, lastErr
+		if len(errs) > 0 {
+			return 0, errors.Join(errs...)
 		}
 		return 0, ErrNotEnoughData
 	}

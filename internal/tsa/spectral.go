@@ -297,6 +297,33 @@ func MovingAverage(xs []float64, window int) []float64 {
 	return out
 }
 
+// TrailingMovingAverage smooths xs with a trailing window: out[i] is
+// the mean of xs[max(0,i-window+1) .. i]. Unlike MovingAverage's
+// centred window it never reads ahead of index i, so it is safe inside
+// forecasting feature pipelines where future values must stay unseen.
+// The leading partial windows average over the available prefix, so
+// the output keeps the input's length.
+func TrailingMovingAverage(xs []float64, window int) []float64 {
+	n := len(xs)
+	out := make([]float64, n)
+	if window < 1 {
+		window = 1
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += xs[i]
+		if i >= window {
+			sum -= xs[i-window]
+		}
+		w := i + 1
+		if w > window {
+			w = window
+		}
+		out[i] = sum / float64(w)
+	}
+	return out
+}
+
 // Decompose splits xs into trend (centred moving average over the
 // seasonal period), seasonal (period-averaged detrended values), and
 // residual components, in the style of classical additive

@@ -12,15 +12,21 @@
 # at q=4 with telemetry off (nil recorder), with the Prometheus
 # aggregator attached, and with a metrics+JSONL fan-out, so the
 # telemetry tax stays visible next to the protocol numbers.
+# BenchmarkPipelineDAG prices the graph executor's steady-state
+# candidate evaluation (the ClientNode hot path) for the degenerate
+# chain, a fully branched template graph, and the chain under 3-fold
+# rolling-origin CV, so the DAG refactor's per-candidate cost is
+# tracked next to the round protocol it feeds.
 #
 # All benchmarks run under -benchmem, so every JSON row also carries
 # bytes_per_op and allocs_per_op — the numbers the perflint retrofit
 # (hotalloc/bigcopy/prealloc/deferloop/iboxing) is accounted against.
 #
-# The JSON is one object with three lists:
+# The JSON is one object with four lists:
 #   {"engine_rounds": [...one object per q...],
 #    "wire_formats": [...one object per wire format, all at q=8...],
-#    "recorder_overhead": [...one object per recorder mode...]}
+#    "recorder_overhead": [...one object per recorder mode...],
+#    "pipeline_dag": [...one object per graph shape...]}
 #
 # Usage:
 #   scripts/bench.sh               # writes BENCH_engine.json in the repo root
@@ -35,8 +41,12 @@ echo "==> go test -bench='EngineRounds|EngineWire|RecorderOverhead' -benchmem -b
 raw="$(go test -bench='EngineRounds|EngineWire|RecorderOverhead' -benchmem -benchtime="$benchtime" -run '^$' ./internal/core/)"
 echo "$raw"
 
-echo "$raw" | awk '
-BEGIN { nr = 0; nw = 0; no = 0 }
+echo "==> go test -bench=PipelineDAG -benchmem -benchtime=$benchtime ./internal/pipeline/"
+rawdag="$(go test -bench='PipelineDAG' -benchmem -benchtime="$benchtime" -run '^$' ./internal/pipeline/)"
+echo "$rawdag"
+
+printf '%s\n%s\n' "$raw" "$rawdag" | awk '
+BEGIN { nr = 0; nw = 0; no = 0; nd = 0 }
 /^BenchmarkEngineRounds\// {
     split($1, parts, "=")
     sub(/-[0-9]+$/, "", parts[2])   # strip the -GOMAXPROCS suffix
@@ -83,6 +93,20 @@ BEGIN { nr = 0; nw = 0; no = 0 }
     }
     orows[no++] = sprintf("    {\"recorder\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", mode, nsop, bop, aop)
 }
+/^BenchmarkPipelineDAG\// {
+    split($1, parts, "=")
+    sub(/-[0-9]+$/, "", parts[2])   # strip the -GOMAXPROCS suffix
+    graph = parts[2]
+    nsop = ""; folds = ""; bop = ""; aop = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     nsop = $i
+        if ($(i+1) == "folds")     folds = $i
+        if ($(i+1) == "B/op")      bop = $i
+        if ($(i+1) == "allocs/op") aop = $i
+    }
+    drows[nd++] = sprintf("    {\"graph\": \"%s\", \"ns_per_op\": %s, \"folds\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        graph, nsop, folds, bop, aop)
+}
 END {
     print "{"
     print "  \"engine_rounds\": ["
@@ -93,6 +117,9 @@ END {
     print "  ],"
     print "  \"recorder_overhead\": ["
     for (i = 0; i < no; i++) printf "%s%s\n", orows[i], (i < no-1 ? "," : "")
+    print "  ],"
+    print "  \"pipeline_dag\": ["
+    for (i = 0; i < nd; i++) printf "%s%s\n", drows[i], (i < nd-1 ? "," : "")
     print "  ]"
     print "}"
 }
