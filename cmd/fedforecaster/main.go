@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"fedforecaster"
+	"fedforecaster/internal/fedtrace"
 	"fedforecaster/internal/metafeat"
 	"fedforecaster/internal/obs"
 	"fedforecaster/internal/synth"
@@ -53,6 +54,7 @@ func main() {
 
 		obsAddr  = flag.String("obs-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :6060; empty = off)")
 		traceOut = flag.String("trace-out", "", "write the typed telemetry event stream as JSON lines to this file (empty = off)")
+		report   = flag.Bool("report", false, "print the fedtrace causal summary (phases, rounds, critical paths, stragglers) after the run")
 	)
 	flag.Parse()
 
@@ -144,6 +146,13 @@ func main() {
 		defer httpSrv.Close()
 		fmt.Printf("observability: http://%s/metrics /healthz /debug/pprof\n", httpSrv.Addr())
 	}
+	var collector *fedtrace.Collector
+	if *report {
+		// The in-process collector feeds the same analyzer as cmd/fedtrace
+		// — the end-of-run summary needs no separate trace-file pass.
+		collector = fedtrace.NewCollector()
+		recorders = append(recorders, collector)
+	}
 	opts.Recorder = obs.Multi(recorders...)
 	if *kbPath != "" {
 		kb, err := fedforecaster.LoadKnowledgeBase(*kbPath)
@@ -172,8 +181,20 @@ func main() {
 	fmt.Printf("best configuration: %s\n", res.BestConfig)
 	fmt.Printf("global validation loss: %.6g\n", res.BestValidLoss)
 	fmt.Printf("held-out test MSE: %.6g\n", res.TestMSE)
+	if collector != nil {
+		rep, err := fedtrace.Analyze(collector.Events())
+		if err != nil {
+			log.Fatalf("analyzing run trace: %v", err)
+		}
+		fmt.Println()
+		if err := rep.WriteText(os.Stdout); err != nil {
+			log.Fatalf("writing causal report: %v", err)
+		}
+	}
+	// Close, not Err: the sink buffers, and a clean run whose final
+	// flush fails must still exit nonzero.
 	if jsonl != nil {
-		if err := jsonl.Err(); err != nil {
+		if err := jsonl.Close(); err != nil {
 			log.Fatalf("trace sink: %v", err)
 		}
 	}

@@ -87,8 +87,40 @@ func (c *ClientNode) WithObs(rec obs.Recorder, id int) *ClientNode {
 	return c
 }
 
-// Properties answers the server's metadata queries.
+// traceStartNS reads the request's trace marker: a traced round asks
+// the client to report local span timings, so the handler records its
+// start. 0 — the untraced fast path — costs one map lookup and no
+// clock read.
+func traceStartNS(req fl.Message) int64 {
+	if _, ok := req.Strings[keyTrace]; !ok {
+		return 0
+	}
+	return obs.NowNanos()
+}
+
+// stampLocalSpan appends one [op, start_ns, duration_ns] triple to
+// the response's shipped span timings under keySpans. No-op when
+// startNS is 0 (untraced round) — the response then stays
+// byte-identical to a run with telemetry off.
+func stampLocalSpan(resp *fl.Message, op int, startNS int64) {
+	if startNS == 0 || resp.Ints == nil {
+		return
+	}
+	resp.Ints[keySpans] = append(resp.Ints[keySpans], op, int(startNS), int(obs.NowNanos()-startNS))
+}
+
+// Properties answers the server's metadata queries, stamping its local
+// span timing onto traced responses.
 func (c *ClientNode) Properties(req fl.Message) (fl.Message, error) {
+	startNS := traceStartNS(req)
+	resp, err := c.properties(req)
+	if err == nil {
+		stampLocalSpan(&resp, obs.ClientOpProperties, startNS)
+	}
+	return resp, err
+}
+
+func (c *ClientNode) properties(req fl.Message) (fl.Message, error) {
 	switch req.Kind {
 	case kindRange:
 		resp := fl.NewMessage(kindRange)
@@ -147,10 +179,18 @@ func (c *ClientNode) Fit(req fl.Message) (fl.Message, error) {
 	if req.Kind != kindFitFinal {
 		return fl.Message{}, fmt.Errorf("core: unknown fit request %q", req.Kind)
 	}
+	startNS := traceStartNS(req)
+	var resp fl.Message
+	var err error
 	if req.Strings[keyFingerprint] != "" {
-		return c.evaluateBatch(req, "test")
+		resp, err = c.evaluateBatch(req, "test")
+	} else {
+		resp, err = c.evaluate(req, "test")
 	}
-	return c.evaluate(req, "test")
+	if err == nil {
+		stampLocalSpan(&resp, obs.ClientOpFit, startNS)
+	}
+	return resp, err
 }
 
 // Evaluate handles optimization rounds: fit candidates on the train
@@ -159,14 +199,26 @@ func (c *ClientNode) Fit(req fl.Message) (fl.Message, error) {
 // fingerprinted eval/config batch; a fingerprint-less eval/config is a
 // v1 single-candidate round.
 func (c *ClientNode) Evaluate(req fl.Message) (fl.Message, error) {
+	startNS := traceStartNS(req)
 	switch req.Kind {
 	case kindEvalPrepare:
-		return c.prepare(req)
-	case kindEvalConfig:
-		if req.Strings[keyFingerprint] != "" {
-			return c.evaluateBatch(req, "valid")
+		resp, err := c.prepare(req)
+		if err == nil {
+			stampLocalSpan(&resp, obs.ClientOpPrepare, startNS)
 		}
-		return c.evaluate(req, "valid")
+		return resp, err
+	case kindEvalConfig:
+		var resp fl.Message
+		var err error
+		if req.Strings[keyFingerprint] != "" {
+			resp, err = c.evaluateBatch(req, "valid")
+		} else {
+			resp, err = c.evaluate(req, "valid")
+		}
+		if err == nil {
+			stampLocalSpan(&resp, obs.ClientOpEvaluate, startNS)
+		}
+		return resp, err
 	}
 	return fl.Message{}, fmt.Errorf("core: unknown eval request %q", req.Kind)
 }

@@ -219,11 +219,30 @@ type roundContext struct {
 	// may have driven earlier rounds (TCP deployments reuse servers).
 	statsBase fl.Stats
 
+	// tracer is the run's causal-trace position (nil when telemetry is
+	// off, so the nil-recorder path allocates and computes nothing).
+	tracer *roundTracer
+
 	agg         metafeat.Aggregated // phase I output
 	spaces      []search.Space      // phase II output (restricted space A')
 	engineer    *features.Engineer  // phase III-a output (frozen schema)
 	fingerprint string              // content address of engineer+splits
 	result      *Result
+}
+
+// roundTracer tracks where a run currently sits in its causal span
+// hierarchy: the trace identity (derived from the seed, so two runs at
+// one seed share one trace ID), the open run and phase spans, and the
+// per-run round sequence counter. Every span ID is position-derived
+// (obs.DeriveSpan), so identity — and with it the reconstructed tree
+// shape — is a pure function of the run's decisions, never of event
+// emission order. Rounds within a run are driven sequentially from
+// one goroutine, so seq needs no locking.
+type roundTracer struct {
+	trace     uint64
+	runSpan   uint64
+	phaseSpan uint64
+	seq       int // next round's per-run sequence number
 }
 
 // enginePhase is one explicitly named stage of Algorithm 1. The run is
@@ -257,7 +276,7 @@ func enginePhases() []enginePhase {
 
 // newRoundContext prepares the shared state for one run.
 func (e *Engine) newRoundContext(srv *fl.Server) *roundContext {
-	return &roundContext{
+	rc := &roundContext{
 		engine: e,
 		srv:    srv,
 		rec:    e.recorder(),
@@ -267,6 +286,11 @@ func (e *Engine) newRoundContext(srv *fl.Server) *roundContext {
 		statsBase: srv.Stats(),
 		result:    &Result{},
 	}
+	if rc.rec != nil {
+		trace := obs.DeriveTrace(e.Cfg.Seed)
+		rc.tracer = &roundTracer{trace: trace, runSpan: obs.DeriveSpan(trace, obs.SpanRun, 0)}
+	}
+	return rc
 }
 
 // note emits a human-readable annotation; the legacy Trace callback
@@ -305,15 +329,40 @@ func (e *Engine) RunWithServer(srv *fl.Server) (*Result, error) {
 			BatchSize:  e.Cfg.BatchSize,
 			Seed:       e.Cfg.Seed,
 		})
+		rc.rec.Record(obs.SpanStart{
+			Trace:   obs.HexID(rc.tracer.trace),
+			Span:    obs.HexID(rc.tracer.runSpan),
+			Kind:    obs.SpanRun,
+			Name:    obs.SpanRun,
+			Client:  -1,
+			StartNS: rc.startNS,
+		})
 	}
-	for _, ph := range enginePhases() {
+	for i, ph := range enginePhases() {
 		var phaseStartNS int64
 		if rc.rec != nil {
 			phaseStartNS = obs.NowNanos()
 			rc.rec.Record(obs.PhaseStart{Phase: ph.name})
+			rc.tracer.phaseSpan = obs.DeriveSpan(rc.tracer.runSpan, obs.SpanPhase, i)
+			rc.rec.Record(obs.SpanStart{
+				Trace:   obs.HexID(rc.tracer.trace),
+				Span:    obs.HexID(rc.tracer.phaseSpan),
+				Parent:  obs.HexID(rc.tracer.runSpan),
+				Kind:    obs.SpanPhase,
+				Name:    ph.name,
+				Seq:     i,
+				Client:  -1,
+				StartNS: phaseStartNS,
+			})
 		}
 		err := ph.run(rc)
 		if rc.rec != nil {
+			rc.rec.Record(obs.SpanEnd{
+				Trace: obs.HexID(rc.tracer.trace),
+				Span:  obs.HexID(rc.tracer.phaseSpan),
+				EndNS: obs.NowNanos(),
+				Err:   errString(err),
+			})
 			rc.rec.Record(obs.PhaseEnd{
 				Phase:      ph.name,
 				DurationNS: obs.NowNanos() - phaseStartNS,
@@ -322,6 +371,7 @@ func (e *Engine) RunWithServer(srv *fl.Server) (*Result, error) {
 		}
 		if err != nil {
 			if rc.rec != nil {
+				rc.closeRunSpan(err)
 				rc.rec.Record(obs.RunEnd{
 					DurationNS: obs.NowNanos() - rc.startNS,
 					Iterations: len(rc.result.History),
@@ -337,6 +387,16 @@ func (e *Engine) RunWithServer(srv *fl.Server) (*Result, error) {
 		rc.result.Comms.Rounds, rc.result.Comms.Calls,
 		rc.result.Comms.BytesDown, rc.result.Comms.BytesUp))
 	if rc.rec != nil {
+		c := rc.result.Comms
+		rc.rec.Record(obs.CommsSummary{
+			Rounds:      c.Rounds,
+			Calls:       c.Calls,
+			BytesDown:   c.BytesDown,
+			BytesUp:     c.BytesUp,
+			WastedCalls: c.WastedCalls,
+			WastedBytes: c.WastedBytes,
+		})
+		rc.closeRunSpan(nil)
 		rc.rec.Record(obs.RunEnd{
 			DurationNS: obs.NowNanos() - rc.startNS,
 			Iterations: rc.result.Iterations,
@@ -346,12 +406,23 @@ func (e *Engine) RunWithServer(srv *fl.Server) (*Result, error) {
 	return rc.result, nil
 }
 
+// closeRunSpan ends the run's root span. Only called when a recorder
+// (and with it the tracer) is live.
+func (rc *roundContext) closeRunSpan(err error) {
+	rc.rec.Record(obs.SpanEnd{
+		Trace: obs.HexID(rc.tracer.trace),
+		Span:  obs.HexID(rc.tracer.runSpan),
+		EndNS: obs.NowNanos(),
+		Err:   errString(err),
+	})
+}
+
 // runPhaseMetaFeatures is Phase I: meta-features computed on each
 // client, aggregated on the server (Figure 1-I, Algorithm 1 lines
 // 3-8).
 func runPhaseMetaFeatures(rc *roundContext) error {
 	rc.note("phase I: collecting meta-features")
-	agg, err := rc.engine.collectMetaFeatures(rc.srv, rc.rec)
+	agg, err := rc.engine.collectMetaFeatures(rc.srv, rc.rec, rc.tracer)
 	if err != nil {
 		return err
 	}
@@ -405,7 +476,7 @@ func runPhaseFeatureSelect(rc *roundContext) error {
 	rc.result.NumFeatures = len(eng.FeatureNames())
 	if e.Cfg.FeatureSelection {
 		rc.note("phase III: federated feature selection")
-		kept, err := e.selectFeatures(rc.srv, eng, rc.rec)
+		kept, err := e.selectFeatures(rc.srv, eng, rc.rec, rc.tracer)
 		if err != nil {
 			return err
 		}
@@ -650,19 +721,54 @@ func (e *Engine) quorum(kind string, rec obs.Recorder) fl.QuorumConfig {
 // runner's drift checks); rounds inside a run go through
 // roundContext.broadcast so span telemetry attaches to the run.
 func (e *Engine) broadcast(srv *fl.Server, req fl.Message) ([]fl.Message, []int, error) {
-	return e.broadcastObs(srv, req, e.recorder(), 0)
+	return e.broadcastObs(srv, req, e.recorder(), nil, 0)
 }
 
 // broadcastObs drives one quorum round wrapped in RoundStart/RoundEnd
 // span events (when a recorder is live). Batch is the candidate count
-// for evaluation rounds, 0 for metadata rounds.
-func (e *Engine) broadcastObs(srv *fl.Server, req fl.Message, rec obs.Recorder, batch int) ([]fl.Message, []int, error) {
+// for evaluation rounds, 0 for metadata rounds. With a live tracer,
+// the round opens a span under the current phase, ships its packed
+// context to the clients inside the request (keyTrace), and hands the
+// quorum layer the context it derives per-client call and attempt
+// spans from. A round driven twice (the need_prepare healing path
+// re-broadcasts the same request) gets a fresh round span each time —
+// two rounds happened on the wire, so two spans exist in the trace.
+func (e *Engine) broadcastObs(srv *fl.Server, req fl.Message, rec obs.Recorder, tr *roundTracer, batch int) ([]fl.Message, []int, error) {
 	if rec == nil {
 		return srv.BroadcastQuorum(req, e.quorum(req.Kind, nil))
 	}
+	q := e.quorum(req.Kind, rec)
+	var roundSpan uint64
+	if tr != nil {
+		roundSpan = obs.DeriveSpan(tr.phaseSpan, obs.SpanRound, tr.seq)
+		ctx := obs.SpanContext{Trace: tr.trace, Span: roundSpan}
+		req.Strings[keyTrace] = obs.PackSpanContext(ctx)
+		q.Span = ctx
+	}
 	rec.Record(obs.RoundStart{Kind: req.Kind, Batch: batch, Clients: srv.NumClients()})
 	startNS := obs.NowNanos()
-	msgs, idx, err := srv.BroadcastQuorum(req, e.quorum(req.Kind, rec))
+	if tr != nil {
+		rec.Record(obs.SpanStart{
+			Trace:   obs.HexID(tr.trace),
+			Span:    obs.HexID(roundSpan),
+			Parent:  obs.HexID(tr.phaseSpan),
+			Kind:    obs.SpanRound,
+			Name:    req.Kind,
+			Seq:     tr.seq,
+			Client:  -1,
+			StartNS: startNS,
+		})
+		tr.seq++
+	}
+	msgs, idx, err := srv.BroadcastQuorum(req, q)
+	if tr != nil {
+		rec.Record(obs.SpanEnd{
+			Trace: obs.HexID(tr.trace),
+			Span:  obs.HexID(roundSpan),
+			EndNS: obs.NowNanos(),
+			Err:   errString(err),
+		})
+	}
 	rec.Record(obs.RoundEnd{
 		Kind:       req.Kind,
 		Batch:      batch,
@@ -673,9 +779,10 @@ func (e *Engine) broadcastObs(srv *fl.Server, req fl.Message, rec obs.Recorder, 
 	return msgs, idx, err
 }
 
-// broadcast drives one in-run protocol round with the run's recorder.
+// broadcast drives one in-run protocol round with the run's recorder
+// and tracer.
 func (rc *roundContext) broadcast(req fl.Message, batch int) ([]fl.Message, []int, error) {
-	return rc.engine.broadcastObs(rc.srv, req, rc.rec, batch)
+	return rc.engine.broadcastObs(rc.srv, req, rc.rec, rc.tracer, batch)
 }
 
 // collectMetaFeatures runs the two Phase-I rounds. Under partial
@@ -683,8 +790,8 @@ func (rc *roundContext) broadcast(req fl.Message, batch int) ([]fl.Message, []in
 // it; the value range and fingerprints of dropped clients are simply
 // absent from the global aggregate, mirroring Flower's per-round
 // sampling.
-func (e *Engine) collectMetaFeatures(srv *fl.Server, rec obs.Recorder) (metafeat.Aggregated, error) {
-	rangeResps, _, err := e.broadcastObs(srv, fl.NewMessage(kindRange), rec, 0)
+func (e *Engine) collectMetaFeatures(srv *fl.Server, rec obs.Recorder, tr *roundTracer) (metafeat.Aggregated, error) {
+	rangeResps, _, err := e.broadcastObs(srv, fl.NewMessage(kindRange), rec, tr, 0)
 	if err != nil {
 		return metafeat.Aggregated{}, roundTripError("range", err)
 	}
@@ -700,7 +807,7 @@ func (e *Engine) collectMetaFeatures(srv *fl.Server, rec obs.Recorder) (metafeat
 	req := fl.NewMessage(kindMetaFeatures)
 	req.Scalars["lo"] = lo
 	req.Scalars["hi"] = hi
-	resps, _, err := e.broadcastObs(srv, req, rec, 0)
+	resps, _, err := e.broadcastObs(srv, req, rec, tr, 0)
 	if err != nil {
 		return metafeat.Aggregated{}, roundTripError("metafeatures", err)
 	}
@@ -712,10 +819,10 @@ func (e *Engine) collectMetaFeatures(srv *fl.Server, rec obs.Recorder) (metafeat
 }
 
 // selectFeatures runs the federated feature-selection round.
-func (e *Engine) selectFeatures(srv *fl.Server, eng *features.Engineer, rec obs.Recorder) ([]int, error) {
+func (e *Engine) selectFeatures(srv *fl.Server, eng *features.Engineer, rec obs.Recorder, tr *roundTracer) ([]int, error) {
 	req := fl.NewMessage(kindImportances)
 	encodeEngineer(&req, eng)
-	resps, _, err := e.broadcastObs(srv, req, rec, 0)
+	resps, _, err := e.broadcastObs(srv, req, rec, tr, 0)
 	if err != nil {
 		return nil, roundTripError("importances", err)
 	}

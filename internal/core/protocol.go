@@ -17,6 +17,7 @@ import (
 
 	"fedforecaster/internal/features"
 	"fedforecaster/internal/fl"
+	"fedforecaster/internal/fl/codec"
 	"fedforecaster/internal/metafeat"
 	"fedforecaster/internal/pipeline"
 	"fedforecaster/internal/search"
@@ -210,6 +211,14 @@ const (
 	// rounds stay byte-identical to the pre-CV wire format.
 	keyCVFolds          = "cv_folds"
 	keyValidationBlocks = "validation_blocks"
+	// Causal-tracing keys (values interned by the codec): a traced
+	// round's request carries its packed span context under keyTrace;
+	// clients answering a traced request ship local span timings back
+	// under keySpans as flat [op, start_ns, duration_ns] triples. The
+	// accounting layer strips both, so Result.Comms is identical with
+	// tracing on or off.
+	keyTrace = codec.TraceKey
+	keySpans = codec.SpansKey
 )
 
 // engineerFingerprint content-addresses the frozen engineer schema and

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"fedforecaster/internal/fl"
@@ -80,7 +81,8 @@ func TestTraceOutCoversAllPhases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sink.Err(); err != nil {
+	// The sink buffers; Close flushes the tail of the stream.
+	if err := sink.Close(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -139,6 +141,18 @@ func TestTraceOutCoversAllPhases(t *testing.T) {
 	if counts["note"] == 0 {
 		t.Error("no note events: the legacy trace strings should ride the stream")
 	}
+	// Causal spans: every opened span closes (no faults in this run),
+	// and there are strictly more spans than rounds — run + phases +
+	// rounds + per-client calls + attempts + shipped client ops.
+	if counts["span_start"] == 0 || counts["span_start"] != counts["span_end"] {
+		t.Errorf("span events unbalanced: %d starts, %d ends", counts["span_start"], counts["span_end"])
+	}
+	if counts["span_start"] <= counts["round_start"] {
+		t.Errorf("span_start count = %d, want more than the %d rounds", counts["span_start"], counts["round_start"])
+	}
+	if counts["comms_summary"] != 1 {
+		t.Errorf("comms_summary count = %d, want 1", counts["comms_summary"])
+	}
 }
 
 // TestTelemetryRaceBatchedChaosRun is the acceptance scenario under
@@ -172,23 +186,33 @@ func TestTelemetryRaceBatchedChaosRun(t *testing.T) {
 
 	done := make(chan struct{})
 	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for {
-			select {
-			case <-done:
-				return
-			default:
+	// Two concurrent scrapers — /metrics and /healthz — run against the
+	// live chaos run: health probing a server mid-round must neither
+	// race the recorders nor observe a stall (the run is making
+	// progress, so LastActivityNanos keeps refreshing).
+	var badHealth int32
+	for _, path := range []string{"/metrics", "/healthz"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get("http://" + httpSrv.Addr() + path)
+				if err != nil {
+					continue // server may be mid-shutdown at test end
+				}
+				if path == "/healthz" && resp.StatusCode != http.StatusOK {
+					atomic.AddInt32(&badHealth, 1)
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
 			}
-			resp, err := http.Get("http://" + httpSrv.Addr() + "/metrics")
-			if err != nil {
-				continue // server may be mid-shutdown at test end
-			}
-			_, _ = io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-		}
-	}()
+		}(path)
+	}
 
 	eng := NewEngine(nil, cfg)
 	res, err := eng.RunWithServer(srv)
@@ -197,7 +221,10 @@ func TestTelemetryRaceBatchedChaosRun(t *testing.T) {
 	if err != nil {
 		t.Fatalf("chaos run failed: %v", err)
 	}
-	if err := sink.Err(); err != nil {
+	if n := atomic.LoadInt32(&badHealth); n != 0 {
+		t.Errorf("/healthz reported unhealthy %d times during a live run", n)
+	}
+	if err := sink.Close(); err != nil {
 		t.Fatalf("JSONL sink: %v", err)
 	}
 	if res.Iterations != cfg.Iterations {

@@ -67,7 +67,25 @@ var vocab = []string{
 	"cv_folds", "validation_blocks",
 	"c:g:pre", "c:g:arm2", "none",
 	"smooth3", "smooth5", "diff1", "linear", "tree",
+	// Causal-tracing keys (appended: earlier indices are frozen). The
+	// request's span context rides under "trace" as one packed hex
+	// string (the packed-hex string form ships its 32 digits in 18
+	// bytes); the response's client-local span timings ride under
+	// "spans" as flat int64 triples.
+	TraceKey, SpansKey,
 }
+
+// Causal-tracing payload keys, exported so fl and core reference the
+// interned spellings instead of re-declaring them.
+const (
+	// TraceKey carries the round's packed span context in
+	// Message.Strings on traced requests.
+	TraceKey = "trace"
+	// SpansKey carries client-local span timings in Message.Ints on
+	// responses to traced requests: flat [op_code, start_ns,
+	// duration_ns] triples.
+	SpansKey = "spans"
+)
 
 var (
 	dict = []byte(strings.Join(vocab, "|"))

@@ -134,8 +134,43 @@ func NewServer(t Transport) *Server {
 	return s
 }
 
-// size bills one message under the transport's wire format.
-func (s *Server) size(m Message) int64 { return s.wire.Size(m) }
+// size bills one message under the transport's wire format. Causal-
+// tracing payload (the request's packed span context, the response's
+// shipped span timings) is stripped first: Stats bills the protocol,
+// and the accounting must stay bit-identical whether or not a
+// recorder — and therefore tracing — is attached to the run.
+func (s *Server) size(m Message) int64 { return s.wire.Size(stripTrace(m)) }
+
+// stripTrace returns m without its causal-tracing payload; when none
+// is present (every untraced run) it returns m unchanged without
+// allocating. The copies write the ranged map's own keys back
+// verbatim (maporder's key→copy exemption, cf. corruptMessage).
+func stripTrace(m Message) Message {
+	_, hasTrace := m.Strings[codec.TraceKey]
+	_, hasSpans := m.Ints[codec.SpansKey]
+	if !hasTrace && !hasSpans {
+		return m
+	}
+	if hasTrace {
+		ss := make(map[string]string, len(m.Strings)-1)
+		for k, v := range m.Strings {
+			if k != codec.TraceKey {
+				ss[k] = v
+			}
+		}
+		m.Strings = ss
+	}
+	if hasSpans {
+		is := make(map[string][]int, len(m.Ints)-1)
+		for k, v := range m.Ints {
+			if k != codec.SpansKey {
+				is[k] = v
+			}
+		}
+		m.Ints = is
+	}
+	return m
+}
 
 // SetRecorder installs (or, with nil, removes) the telemetry recorder
 // the server's quorum layer emits per-attempt ClientCall events to.

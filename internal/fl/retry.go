@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"fedforecaster/internal/fl/codec"
 	"fedforecaster/internal/obs"
 )
 
@@ -189,6 +190,13 @@ type QuorumConfig struct {
 	// logical call. It is invoked sequentially in ascending position
 	// order after the round's barrier, so it needs no locking.
 	OnDrop func(client int, err error)
+	// Span, when valid and a recorder is installed, is the round's
+	// span context: the quorum layer opens one call span per addressed
+	// client under it, a span per attempt under each call, and — for
+	// attempts that delivered — the client-local operation spans the
+	// response shipped back under codec.SpansKey. The zero value
+	// disables tracing for the round.
+	Span obs.SpanContext
 }
 
 // need returns the survivor count required out of n addressed clients.
@@ -237,6 +245,7 @@ func (s *Server) CallSubsetQuorum(clients []int, req Message, q QuorumConfig) ([
 	// and Recorders are concurrent-safe by contract.
 	rec := s.recorder()
 	reqBytes := s.size(req)
+	traced := rec != nil && q.Span.Valid()
 	hook := func(client, attempt int, latencyNS int64, resp Message, err error) {
 		bytes := reqBytes
 		if err != nil {
@@ -244,15 +253,19 @@ func (s *Server) CallSubsetQuorum(clients []int, req Message, q QuorumConfig) ([
 		} else {
 			bytes += s.size(resp)
 		}
-		if rec != nil {
-			rec.Record(obs.ClientCall{
-				Kind:      req.Kind,
-				Client:    client,
-				Attempt:   attempt,
-				LatencyNS: latencyNS,
-				Bytes:     bytes,
-				Outcome:   outcomeOf(err),
-			})
+		if rec == nil {
+			return
+		}
+		rec.Record(obs.ClientCall{
+			Kind:      req.Kind,
+			Client:    client,
+			Attempt:   attempt,
+			LatencyNS: latencyNS,
+			Bytes:     bytes,
+			Outcome:   outcomeOf(err),
+		})
+		if traced {
+			emitAttemptSpans(rec, q.Span, client, attempt, latencyNS, resp, err)
 		}
 	}
 	var wg sync.WaitGroup
@@ -261,7 +274,29 @@ func (s *Server) CallSubsetQuorum(clients []int, req Message, q QuorumConfig) ([
 		//lint:allow hotalloc federated fan-out is one goroutine per client per round by design
 		go func(i, c int) {
 			defer wg.Done()
+			var callSpan uint64
+			if traced {
+				callSpan = obs.DeriveSpan(q.Span.Span, obs.SpanCall, c)
+				rec.Record(obs.SpanStart{
+					Trace:   obs.HexID(q.Span.Trace),
+					Span:    obs.HexID(callSpan),
+					Parent:  obs.HexID(q.Span.Span),
+					Kind:    obs.SpanCall,
+					Name:    obs.SpanCall,
+					Seq:     c,
+					Client:  c,
+					StartNS: obs.NowNanos(),
+				})
+			}
 			out[i], errs[i] = callWithPolicy(s.transport, c, req, q.Retry, hook)
+			if traced {
+				rec.Record(obs.SpanEnd{
+					Trace: obs.HexID(q.Span.Trace),
+					Span:  obs.HexID(callSpan),
+					EndNS: obs.NowNanos(),
+					Err:   errString(errs[i]),
+				})
+			}
 		}(i, c)
 	}
 	wg.Wait()
@@ -288,4 +323,61 @@ func (s *Server) CallSubsetQuorum(clients []int, req Message, q QuorumConfig) ([
 	}
 	s.account(true, req, msgs)
 	return msgs, idx, nil
+}
+
+// emitAttemptSpans reports one attempt's span — and, for an attempt
+// that delivered, the client-local operation spans its response
+// shipped back — after the fact: the attempt's start is reconstructed
+// from its observed latency, so the span brackets the transport call
+// without a second clock read inside it. Span IDs are derived from
+// position (round span → call → attempt → op group), never counters,
+// so concurrent emission order cannot perturb identity. The shipped
+// span triples are consumed here: the key is deleted so client-local
+// timings never reach the engine's protocol handling. Runs on the
+// attempt's own goroutine; the response maps are exclusively its
+// client's until the round barrier.
+func emitAttemptSpans(rec obs.Recorder, round obs.SpanContext, client, attempt int, latencyNS int64, resp Message, err error) {
+	trace := obs.HexID(round.Trace)
+	callID := obs.DeriveSpan(round.Span, obs.SpanCall, client)
+	attemptID := obs.DeriveSpan(callID, obs.SpanAttempt, attempt)
+	endNS := obs.NowNanos()
+	rec.Record(obs.SpanStart{
+		Trace:   trace,
+		Span:    obs.HexID(attemptID),
+		Parent:  obs.HexID(callID),
+		Kind:    obs.SpanAttempt,
+		Name:    obs.SpanAttempt,
+		Seq:     attempt,
+		Client:  client,
+		StartNS: endNS - latencyNS,
+	})
+	rec.Record(obs.SpanEnd{Trace: trace, Span: obs.HexID(attemptID), EndNS: endNS, Err: errString(err)})
+	if err != nil {
+		return
+	}
+	spans := resp.Ints[codec.SpansKey]
+	for g := 0; g+2 < len(spans); g += 3 {
+		opID := obs.DeriveSpan(attemptID, obs.SpanClient, g/3)
+		startNS := int64(spans[g+1])
+		rec.Record(obs.SpanStart{
+			Trace:   trace,
+			Span:    obs.HexID(opID),
+			Parent:  obs.HexID(attemptID),
+			Kind:    obs.SpanClient,
+			Name:    obs.ClientOpName(spans[g]),
+			Seq:     g / 3,
+			Client:  client,
+			StartNS: startNS,
+		})
+		rec.Record(obs.SpanEnd{Trace: trace, Span: obs.HexID(opID), EndNS: startNS + int64(spans[g+2])})
+	}
+	delete(resp.Ints, codec.SpansKey)
+}
+
+// errString renders an error for a span's Err field ("" for nil).
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }

@@ -89,6 +89,9 @@ func TestEventNamesAreStableSnakeCase(t *testing.T) {
 		CandidateEval{}: "candidate_eval",
 		ChaosInject{}:   "chaos_inject",
 		Note{}:          "note",
+		SpanStart{}:     "span_start",
+		SpanEnd{}:       "span_end",
+		CommsSummary{}:  "comms_summary",
 	}
 	for ev, want := range events {
 		if got := ev.EventName(); got != want {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"io"
 	"sync"
@@ -18,24 +19,32 @@ type jsonlEnvelope struct {
 	Data  Event  `json:"data"`
 }
 
+// jsonlBufferSize sizes the write buffer: span-heavy traces emit
+// hundreds of small lines per round, and a syscall per line dominates
+// the sink's cost without buffering.
+const jsonlBufferSize = 64 << 10
+
 // JSONL is a Recorder writing one JSON object per event to an
 // io.Writer — the `-trace-out file.jsonl` sink, mirroring fedlint's
 // -json mode: a schema-stable stream a run can be replayed and
-// analyzed from offline. Writes are serialized by an internal mutex;
-// the first write or encode error is retained and reported by Err
-// (later events are dropped once the sink has failed).
+// analyzed from offline. Writes are buffered and serialized by an
+// internal mutex; the first write or encode error is retained and
+// reported by Err/Close (later events are dropped once the sink has
+// failed). Callers must Close the sink when the run ends: buffering
+// means the final lines — and any error writing them — only surface
+// at flush.
 type JSONL struct {
 	mu  sync.Mutex
-	w   io.Writer // guarded by mu
-	err error     // guarded by mu
+	buf *bufio.Writer // guarded by mu
+	err error         // guarded by mu
 	// now supplies timestamps; tests inject a fixed clock so golden
 	// output is deterministic.
 	now func() int64
 }
 
-// NewJSONL returns a JSON-lines sink over w.
+// NewJSONL returns a JSON-lines sink over w. Close it to flush.
 func NewJSONL(w io.Writer) *JSONL {
-	return &JSONL{w: w, now: NowNanos}
+	return &JSONL{buf: bufio.NewWriterSize(w, jsonlBufferSize), now: NowNanos}
 }
 
 // Record implements Recorder.
@@ -50,15 +59,30 @@ func (j *JSONL) Record(ev Event) {
 		j.err = err
 		return
 	}
-	if _, err := j.w.Write(append(line, '\n')); err != nil {
+	if _, err := j.buf.Write(append(line, '\n')); err != nil {
 		j.err = err
 	}
 }
 
-// Err reports the first write or encode error, if any — check it after
-// the run, the way a final Flush would be checked.
+// Err reports the first write or encode error, if any. A clean Err
+// does not mean the sink is durable — buffered lines only reach the
+// underlying writer at Close.
 func (j *JSONL) Err() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close flushes the buffer and reports the first error seen across
+// the sink's lifetime, including one surfacing only now from the
+// final flush — the write that was silently lost before this method
+// existed. Close is idempotent: calling it again re-flushes and
+// reports the same retained error.
+func (j *JSONL) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.buf.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
 	return j.err
 }

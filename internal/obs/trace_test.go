@@ -28,11 +28,14 @@ func TestJSONLGoldenSchema(t *testing.T) {
 		CandidateEval{Client: 1, Index: 0, EvalNS: 300, Loss: 0.5},
 		ChaosInject{Client: 2, Fault: "transient"},
 		Note{Text: "phase I: collecting meta-features"},
+		SpanStart{Trace: "00000000000000aa", Span: "00000000000000bb", Parent: "00000000000000cc", Kind: "round", Name: "eval/config", Seq: 3, Client: -1, StartNS: 12000},
+		SpanEnd{Trace: "00000000000000aa", Span: "00000000000000bb", EndNS: 17000, Err: "fl: quorum not met"},
+		CommsSummary{Rounds: 9, Calls: 36, BytesDown: 4096, BytesUp: 2048, WastedCalls: 2, WastedBytes: 128},
 		RunEnd{DurationNS: 99, Iterations: 8, EvalRounds: 4, Err: "boom"},
 	} {
 		j.Record(ev)
 	}
-	if err := j.Err(); err != nil {
+	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -48,10 +51,33 @@ func TestJSONLGoldenSchema(t *testing.T) {
 {"ts":1700000000000000000,"event":"candidate_eval","data":{"client":1,"index":0,"eval_ns":300,"loss":0.5}}
 {"ts":1700000000000000000,"event":"chaos_inject","data":{"client":2,"fault":"transient"}}
 {"ts":1700000000000000000,"event":"note","data":{"text":"phase I: collecting meta-features"}}
+{"ts":1700000000000000000,"event":"span_start","data":{"trace":"00000000000000aa","span":"00000000000000bb","parent":"00000000000000cc","kind":"round","name":"eval/config","seq":3,"client":-1,"start_ns":12000}}
+{"ts":1700000000000000000,"event":"span_end","data":{"trace":"00000000000000aa","span":"00000000000000bb","end_ns":17000,"err":"fl: quorum not met"}}
+{"ts":1700000000000000000,"event":"comms_summary","data":{"rounds":9,"calls":36,"bytes_down":4096,"bytes_up":2048,"wasted_calls":2,"wasted_bytes":128}}
 {"ts":1700000000000000000,"event":"run_end","data":{"duration_ns":99,"iterations":8,"eval_rounds":4,"err":"boom"}}
 `
 	if got := b.String(); got != golden {
 		t.Errorf("JSONL output diverged from the golden schema.\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+// TestJSONLDecodeRoundTrip: every line the golden schema emits must
+// decode back into its typed event — DecodeEvent is the read side of
+// the same contract.
+func TestJSONLDecodeRoundTrip(t *testing.T) {
+	ev, err := DecodeEvent("span_start", []byte(`{"trace":"aa","span":"bb","kind":"round","name":"eval/config","seq":3,"client":-1,"start_ns":12000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, ok := ev.(*SpanStart)
+	if !ok || start.Name != "eval/config" || start.Seq != 3 || start.Client != -1 {
+		t.Fatalf("DecodeEvent(span_start) = %#v", ev)
+	}
+	if ev, err := DecodeEvent("some_future_event", []byte(`{}`)); ev != nil || err != nil {
+		t.Fatalf("unknown events must be skipped, got %v, %v", ev, err)
+	}
+	if _, err := DecodeEvent("span_end", []byte(`{broken`)); err == nil {
+		t.Fatal("malformed payload must error")
 	}
 }
 
@@ -66,20 +92,44 @@ func (w *failWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-func TestJSONLRetainsFirstError(t *testing.T) {
-	j := NewJSONL(&failWriter{n: 1})
+// TestJSONLCloseSurfacesFlushError: with buffering, a failing
+// underlying writer is invisible to Record — the loss would be silent
+// without Close surfacing the flush error.
+func TestJSONLCloseSurfacesFlushError(t *testing.T) {
+	j := NewJSONL(&failWriter{n: 0})
 	j.Record(Note{Text: "a"})
 	if err := j.Err(); err != nil {
-		t.Fatalf("first write should succeed, got %v", err)
+		t.Fatalf("buffered record must not touch the writer, got %v", err)
 	}
+	err := j.Close()
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Close = %v, want the flush error", err)
+	}
+	// The error sticks: later events are dropped, Close stays
+	// idempotent and keeps reporting the first failure.
 	j.Record(Note{Text: "b"})
+	if got := j.Close(); got != err {
+		t.Errorf("second Close = %v, want retained %v", got, err)
+	}
+	if got := j.Err(); got != err {
+		t.Errorf("Err = %v, want retained %v", got, err)
+	}
+}
+
+// TestJSONLRetainsFirstError: once the buffer spills mid-run and the
+// writer fails, the first error is retained and later events dropped.
+func TestJSONLRetainsFirstError(t *testing.T) {
+	j := NewJSONL(&failWriter{n: 0})
+	// Overflow the buffer so Record itself hits the writer.
+	big := Note{Text: strings.Repeat("x", jsonlBufferSize)}
+	j.Record(big)
+	j.Record(big)
 	err := j.Err()
 	if err == nil || !strings.Contains(err.Error(), "disk full") {
 		t.Fatalf("Err = %v, want the retained write error", err)
 	}
-	// Later events are dropped, the first error sticks.
 	j.Record(Note{Text: "c"})
-	if got := j.Err(); got != err {
-		t.Errorf("Err changed after failure: %v", got)
+	if got := j.Close(); got != err {
+		t.Errorf("Close changed the retained error: %v", got)
 	}
 }

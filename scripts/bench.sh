@@ -31,11 +31,24 @@
 # Usage:
 #   scripts/bench.sh               # writes BENCH_engine.json in the repo root
 #   BENCHTIME=5x scripts/bench.sh  # more samples per benchmark
+#   scripts/bench.sh -gate         # regression gate: measure into a temp
+#                                  # file and fail (exit 1, offending rows
+#                                  # printed) when any section's ns_per_op
+#                                  # or allocs_per_op regressed >15% vs the
+#                                  # committed BENCH_engine.json
+#   NS_TOL=0 scripts/bench.sh -gate    # gate allocs only (CI: wall-clock
+#   ALLOC_TOL=0.15                     # is too noisy on shared runners)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-1x}"
 out="BENCH_engine.json"
+gate=0
+if [[ "${1:-}" == "-gate" ]]; then
+    gate=1
+    out="$(mktemp /tmp/bench_engine.XXXXXX.json)"
+    trap 'rm -f "$out"' EXIT
+fi
 
 echo "==> go test -bench='EngineRounds|EngineWire|RecorderOverhead' -benchmem -benchtime=$benchtime ./internal/core/"
 raw="$(go test -bench='EngineRounds|EngineWire|RecorderOverhead' -benchmem -benchtime="$benchtime" -run '^$' ./internal/core/)"
@@ -127,3 +140,9 @@ END {
 
 echo "==> wrote $out"
 cat "$out"
+
+if [[ "$gate" == 1 ]]; then
+    echo "==> benchgate: comparing against committed BENCH_engine.json"
+    go run ./cmd/benchgate -base BENCH_engine.json -new "$out" \
+        -ns "${NS_TOL:-0.15}" -allocs "${ALLOC_TOL:-0.15}"
+fi
